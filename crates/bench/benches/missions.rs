@@ -1,0 +1,75 @@
+//! End-to-end mission benchmarks: one per scheme, plus a single Figure-7
+//! sweep point, so `cargo bench` exercises every table/figure pipeline and
+//! prints a compact summary of the experiment outputs alongside the timing
+//! numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use synergy::{Mission, Scheme, SystemConfig};
+use synergy_bench::{rollback_distances, Fig7Params};
+
+fn mission(scheme: Scheme, seed: u64) -> synergy::MissionOutcome {
+    Mission::new(
+        SystemConfig::builder()
+            .scheme(scheme)
+            .seed(seed)
+            .duration_secs(120.0)
+            .internal_rate_per_min(60.0)
+            .external_rate_per_min(2.0)
+            .tb_interval_secs(5.0)
+            .hardware_fault_at_secs(80.0)
+            .trace(false)
+            .build(),
+    )
+    .run()
+}
+
+fn bench_missions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mission_120s");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::Coordinated,
+        Scheme::WriteThrough,
+        Scheme::Naive,
+        Scheme::MdcdOnly,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scheme:?}")),
+            &scheme,
+            |b, &scheme| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mission(scheme, seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    // One sweep point with few seeds: times the experiment pipeline and
+    // prints the measured means so bench logs double as experiment records.
+    let params = Fig7Params {
+        seeds: 3,
+        duration_secs: 300.0,
+        external_per_min: 2.0,
+        tb_interval_secs: 2.0,
+    };
+    let co = rollback_distances(Scheme::Coordinated, 120.0, params);
+    let wt = rollback_distances(Scheme::WriteThrough, 120.0, params);
+    eprintln!(
+        "fig7@120msg/h (3 seeds): E[Dco]={:.2}s E[Dwt]={:.2}s",
+        co.mean(),
+        wt.mean()
+    );
+    let mut group = c.benchmark_group("fig7_sweep_point");
+    group.sample_size(10);
+    group.bench_function("coordinated_120_per_hour", |b| {
+        b.iter(|| black_box(rollback_distances(Scheme::Coordinated, 120.0, params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_missions, bench_fig7_point);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Microbenchmarks of the protocol building blocks: engine event handling,
+//! blocking-period arithmetic, checkpoint serialization, and the DES core.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use synergy::app::{Application, CounterApp};
+use synergy::payload::CheckpointPayload;
+use synergy_clocks::SyncParams;
+use synergy_des::{DetRng, SimDuration, SimTime, Simulator};
+use synergy_mdcd::{Event, MdcdConfig, PeerEngine};
+use synergy_net::{Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
+use synergy_storage::crc32;
+use synergy_tb::{blocking_period, TbVariant};
+
+fn bench_engine_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdcd_engine");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("peer_deliver_app_message", |b| {
+        let mut engine = PeerEngine::new(
+            MdcdConfig::modified(),
+            ProcessId(3),
+            ProcessId(1),
+            ProcessId(2),
+        );
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let env = Envelope::new(
+                MsgId {
+                    from: ProcessId(1),
+                    seq: MsgSeqNo(seq),
+                },
+                ProcessId(3),
+                MessageBody::Application {
+                    payload: vec![1, 2, 3, 4],
+                    dirty: true,
+                },
+            );
+            black_box(engine.handle(Event::Deliver(env)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_blocking_period(c: &mut Criterion) {
+    let sync = SyncParams::new(SimDuration::from_micros(500), 1e-4);
+    c.bench_function("tb_blocking_period", |b| {
+        b.iter(|| {
+            blocking_period(
+                black_box(TbVariant::Adapted),
+                sync,
+                SimDuration::from_secs(60),
+                SimDuration::from_micros(200),
+                SimDuration::from_millis(2),
+                black_box(true),
+            )
+        })
+    });
+}
+
+fn bench_checkpoint_codec(c: &mut Criterion) {
+    let mut app = CounterApp::new(7);
+    for i in 0..200 {
+        app.on_message(ProcessId(1), MsgSeqNo(i), &[i as u8; 16]);
+    }
+    let payload = CheckpointPayload::new(
+        app.snapshot(),
+        synergy_mdcd::EngineSnapshot::default(),
+        Vec::new(),
+        Vec::new(),
+        SimTime::from_secs_f64(1.0),
+    );
+    let encoded = payload
+        .clone()
+        .into_checkpoint(1, "bench")
+        .expect("encodes");
+    let mut group = c.benchmark_group("checkpoint_codec");
+    group.throughput(Throughput::Bytes(encoded.size_bytes() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            black_box(
+                payload
+                    .clone()
+                    .into_checkpoint(1, "bench")
+                    .expect("encodes"),
+            )
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(CheckpointPayload::from_checkpoint(&encoded).expect("decodes")))
+    });
+    group.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    let mut group = c.benchmark_group("crc32");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| black_box(crc32(&data))));
+    group.finish();
+}
+
+fn bench_des_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("schedule_and_drain_1000", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::new(0);
+            let a = sim.register_actor("a");
+            let mut rng = DetRng::new(1).stream("bench");
+            for i in 0..1000 {
+                use rand::Rng;
+                let at: u64 = rng.gen_range(0..1_000_000);
+                sim.schedule_at(SimTime::from_nanos(at), a, i);
+            }
+            let mut n = 0;
+            while sim.step().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_handling,
+    bench_blocking_period,
+    bench_checkpoint_codec,
+    bench_crc32,
+    bench_des_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Beyond-paper ablations called out in DESIGN.md:
+//!
+//! 1. rollback distance vs TB interval `Δ` (the model's crossover
+//!    `Δ = 2/(λi+λv)` separates where coordination wins);
+//! 2. rollback distance vs external (validation) rate;
+//! 3. blocking overhead vs internal message rate.
+//!
+//! ```text
+//! cargo run --release -p synergy-bench --bin ablations
+//! ```
+
+use synergy::{Mission, Scheme, SystemConfig};
+use synergy_bench::render_table;
+use synergy_des::Summary;
+
+fn distances(scheme: Scheme, delta: f64, ext_per_min: f64, int_per_min: f64) -> Summary {
+    let mut s = Summary::new();
+    for seed in 0..12u64 {
+        let fault = 300.0 + 37.0 * (seed as f64 % 5.0);
+        let o = Mission::new(
+            SystemConfig::builder()
+                .scheme(scheme)
+                .seed(seed)
+                .duration_secs(600.0)
+                .internal_rate_per_min(int_per_min)
+                .external_rate_per_min(ext_per_min)
+                .tb_interval_secs(delta)
+                .hardware_fault_at_secs(fault)
+                .trace(false)
+                .build(),
+        )
+        .run();
+        s.extend(o.metrics.hardware_rollback_distances());
+    }
+    s
+}
+
+fn main() {
+    println!("Ablation 1 — rollback distance vs TB interval Δ (λi=1/min, λext=2/min)\n");
+    let lambda_i = 1.0 / 60.0;
+    let lambda_v = 2.0 * 2.0 / 60.0;
+    let crossover = synergy::model::crossover_interval(lambda_v, lambda_i);
+    println!("  model crossover: Δ = 2/(λi+λv) = {crossover:.1}s\n");
+    let mut rows = Vec::new();
+    for delta in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
+        let co = distances(Scheme::Coordinated, delta, 2.0, 1.0);
+        let wt = distances(Scheme::WriteThrough, delta, 2.0, 1.0);
+        rows.push(vec![
+            format!("{delta:.0}"),
+            format!("{:.2}", co.mean()),
+            format!("{:.2}", wt.mean()),
+            format!("{:.2}x", wt.mean() / co.mean().max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Δ (s)", "E[Dco] (s)", "E[Dwt] (s)", "improvement"], &rows)
+    );
+
+    println!("\nAblation 2 — rollback distance vs external (validation) rate (Δ=2s, λi=1/min)\n");
+    let mut rows = Vec::new();
+    for ext in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let co = distances(Scheme::Coordinated, 2.0, ext, 1.0);
+        let wt = distances(Scheme::WriteThrough, 2.0, ext, 1.0);
+        rows.push(vec![
+            format!("{ext:.1}"),
+            format!("{:.2}", co.mean()),
+            format!("{:.2}", wt.mean()),
+            format!("{:.2}x", wt.mean() / co.mean().max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["ext rate (/min)", "E[Dco] (s)", "E[Dwt] (s)", "improvement"],
+            &rows,
+        )
+    );
+
+    println!("\nAblation 3 — blocking overhead vs internal rate (coordinated, Δ=10s, 300s)\n");
+    let mut rows = Vec::new();
+    for int_rate in [1.0, 10.0, 60.0, 120.0] {
+        let o = Mission::new(
+            SystemConfig::builder()
+                .scheme(Scheme::Coordinated)
+                .seed(5)
+                .duration_secs(300.0)
+                .internal_rate_per_min(int_rate)
+                .external_rate_per_min(2.0)
+                .tb_interval_secs(10.0)
+                .trace(false)
+                .build(),
+        )
+        .run();
+        let m = o.metrics;
+        rows.push(vec![
+            format!("{int_rate:.0}"),
+            format!("{}", m.blocking_periods),
+            format!("{:.2}", m.blocking_total.as_secs_f64() * 1e3),
+            format!(
+                "{:.4}%",
+                100.0 * m.blocking_total.as_secs_f64() / 300.0
+            ),
+            format!("{}", m.stable_replacements),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "int rate (/min)",
+                "blocking periods",
+                "total blocked (ms)",
+                "% of mission",
+                "replacements",
+            ],
+            &rows,
+        )
+    );
+}

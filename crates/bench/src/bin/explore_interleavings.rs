@@ -1,0 +1,86 @@
+//! Bounded model checking of the MDCD error-containment layer — the
+//! paper's stated "formal validation" direction (§5), made executable.
+//!
+//! Exhaustively enumerates every network interleaving of several scripted
+//! workloads and checks dirty-bit truthfulness, checkpoint cleanliness and
+//! recovery safety in every reachable state.
+//!
+//! ```text
+//! cargo run --release -p synergy-bench --bin explore_interleavings
+//! ```
+
+use synergy::explorer::{default_scenario, explore, Step};
+use synergy_bench::render_table;
+
+fn main() {
+    println!("Bounded exhaustive exploration of MDCD interleavings\n");
+    let scenarios: Vec<(&str, Vec<Step>)> = vec![
+        ("figure 1/3 pattern", default_scenario()),
+        (
+            "two validation cycles + trailing traffic",
+            vec![
+                Step::Component1 { external: false },
+                Step::Component2 { external: false },
+                Step::Component1 { external: true },
+                Step::Component2 { external: false },
+                Step::Component1 { external: false },
+                Step::Component2 { external: true },
+                Step::Component1 { external: false },
+            ],
+        ),
+        (
+            "peer-led contamination",
+            vec![
+                Step::Component2 { external: false },
+                Step::Component2 { external: false },
+                Step::Component1 { external: false },
+                Step::Component1 { external: false },
+                Step::Component2 { external: true },
+                Step::Component1 { external: true },
+            ],
+        ),
+        (
+            "validation storm",
+            vec![
+                Step::Component1 { external: true },
+                Step::Component1 { external: true },
+                Step::Component1 { external: false },
+                Step::Component2 { external: true },
+                Step::Component1 { external: true },
+            ],
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for (name, scenario) in &scenarios {
+        let report = explore(scenario, 5_000_000);
+        all_ok &= report.all_hold();
+        rows.push(vec![
+            name.to_string(),
+            scenario.len().to_string(),
+            report.states.to_string(),
+            report.transitions.to_string(),
+            report.violations.len().to_string(),
+            if report.truncated { "yes" } else { "no" }.to_string(),
+        ]);
+        for v in report.violations.iter().take(3) {
+            println!("  VIOLATION in '{name}': {v}");
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "steps", "states", "transitions", "violations", "truncated"],
+            &rows,
+        )
+    );
+    println!(
+        "verdict: {}",
+        if all_ok {
+            "every reachable state of every scenario satisfies all invariants"
+        } else {
+            "VIOLATIONS FOUND"
+        }
+    );
+    assert!(all_ok);
+}

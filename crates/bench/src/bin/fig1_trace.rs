@@ -1,0 +1,26 @@
+//! Regenerates **Figure 1**: message-driven confidence-driven checkpoint
+//! establishment under the original MDCD protocol, as a per-process
+//! timeline.
+//!
+//! ```text
+//! cargo run --release -p synergy-bench --bin fig1_trace
+//! ```
+
+use synergy::scenario::fig1_original_mdcd;
+
+fn main() {
+    let report = fig1_original_mdcd();
+    println!("Figure 1 — original MDCD checkpoint establishment\n");
+    for e in report.trace.events() {
+        if e.kind.starts_with("ckpt")
+            || e.kind.starts_with("msg.send")
+            || e.kind.starts_with("msg.recv")
+            || e.kind.starts_with("at.")
+        {
+            println!("{e}");
+        }
+    }
+    println!("\ncounts: {:?}", report.counts);
+    println!("Type-1 checkpoints before contamination, Type-2 after validation;");
+    println!("P1act (original protocol) takes no checkpoints; AT on external messages only.");
+}

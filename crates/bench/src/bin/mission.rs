@@ -1,0 +1,160 @@
+//! Command-line mission runner: configure a guarded mission, inject faults,
+//! and print the outcome (optionally the full event trace).
+//!
+//! ```text
+//! cargo run --release -p synergy-bench --bin mission -- \
+//!     --scheme coordinated --seed 7 --duration 120 \
+//!     --internal 30 --external 4 --interval 5 \
+//!     --sw-fault 40 --hw-fault 80 --trace
+//! ```
+
+use std::process::exit;
+
+use synergy::{Mission, Scheme, SystemConfig};
+
+const USAGE: &str = "\
+usage: mission [options]
+  --scheme S       coordinated | write-through | naive | mdcd-only  (default coordinated)
+  --seed N         random seed                                      (default 0)
+  --duration SECS  mission length in seconds                        (default 120)
+  --internal R     internal messages per minute per component       (default 30)
+  --external R     external messages per minute per component       (default 4)
+  --interval SECS  TB checkpoint interval                           (default 5)
+  --sw-fault SECS  activate the design fault at this time
+  --hw-fault SECS  crash P2's node at this time (repeatable)
+  --node N         node for subsequent --hw-fault flags (0|1|2)     (default 2)
+  --trace          print the full event trace
+  --help           this text";
+
+fn parse_f64(args: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
+    match args.next().map(|s| s.parse::<f64>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("error: {flag} expects a number\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = argv.iter();
+    let mut builder = SystemConfig::builder();
+    let mut duration = 120.0;
+    let mut print_trace = false;
+    let mut node = 2usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scheme" => {
+                let scheme = match args.next().map(String::as_str) {
+                    Some("coordinated") => Scheme::Coordinated,
+                    Some("write-through") => Scheme::WriteThrough,
+                    Some("naive") => Scheme::Naive,
+                    Some("mdcd-only") => Scheme::MdcdOnly,
+                    other => {
+                        eprintln!("error: unknown scheme {other:?}\n{USAGE}");
+                        exit(2);
+                    }
+                };
+                builder = builder.scheme(scheme);
+            }
+            "--seed" => builder = builder.seed(parse_f64(&mut args, "--seed") as u64),
+            "--duration" => {
+                duration = parse_f64(&mut args, "--duration");
+                builder = builder.duration_secs(duration);
+            }
+            "--internal" => {
+                builder = builder.internal_rate_per_min(parse_f64(&mut args, "--internal"));
+            }
+            "--external" => {
+                builder = builder.external_rate_per_min(parse_f64(&mut args, "--external"));
+            }
+            "--interval" => {
+                builder = builder.tb_interval_secs(parse_f64(&mut args, "--interval"));
+            }
+            "--sw-fault" => {
+                builder = builder.software_fault_at_secs(parse_f64(&mut args, "--sw-fault"));
+            }
+            "--hw-fault" => {
+                let at = parse_f64(&mut args, "--hw-fault");
+                builder = builder.hardware_fault(synergy::HardwareFault {
+                    at: synergy_des::SimTime::from_secs_f64(at),
+                    node,
+                });
+            }
+            "--node" => {
+                node = parse_f64(&mut args, "--node") as usize;
+                if node > 2 {
+                    eprintln!("error: --node must be 0, 1 or 2");
+                    exit(2);
+                }
+            }
+            "--trace" => print_trace = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let outcome = Mission::new(builder.build()).run();
+    if print_trace {
+        for e in outcome.trace.events() {
+            println!("{e}");
+        }
+        println!();
+    }
+    let m = &outcome.metrics;
+    println!("mission: {duration:.0}s");
+    println!(
+        "  messages: {} sent, {} delivered, {} re-sent",
+        m.messages_sent, m.messages_delivered, m.messages_resent
+    );
+    println!(
+        "  checkpoints: {} type-1, {} type-2, {} pseudo, {} stable ({} replaced)",
+        m.type1_ckpts, m.type2_ckpts, m.pseudo_ckpts, m.stable_commits, m.stable_replacements
+    );
+    println!(
+        "  acceptance tests: {} run, {} failed",
+        m.at_runs, m.at_failures
+    );
+    println!(
+        "  recoveries: {} software, {} hardware (shadow promoted: {})",
+        m.software_recoveries, m.hardware_recoveries, outcome.shadow_promoted
+    );
+    for r in &m.rollbacks {
+        println!(
+            "    {:?} @ {}: {} {} ({:.3}s undone)",
+            r.cause,
+            r.at,
+            synergy::system::process_name(r.process),
+            r.decision,
+            r.distance_secs
+        );
+    }
+    println!(
+        "  blocking: {} periods, {:.3}s total",
+        m.blocking_periods,
+        m.blocking_total.as_secs_f64()
+    );
+    println!("  device messages: {}", outcome.device_messages);
+    println!(
+        "  global-state checks: {} run; verdict: {}",
+        outcome.verdicts.checks_run,
+        if outcome.verdicts.all_hold() {
+            "ALL PROPERTIES HOLD".to_string()
+        } else {
+            format!("{} VIOLATIONS", outcome.verdicts.violations.len())
+        }
+    );
+    for v in outcome.verdicts.violations.iter().take(10) {
+        println!("    {v}");
+    }
+    if !outcome.verdicts.all_hold() {
+        exit(1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared experiment harness code for the `synergy-ft` tables and figures.
+//!
+//! Every table and figure of the DSN 2001 paper has a corresponding binary
+//! in `src/bin/` that regenerates it (see DESIGN.md §4 for the index);
+//! the sweep logic they share lives here so integration tests can assert on
+//! the same numbers the binaries print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use synergy::{Mission, Scheme, SystemConfig};
+use synergy_des::Summary;
+
+/// One x-axis point of the Figure 7 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// Internal message rate, in messages per hour per component.
+    pub internal_per_hour: f64,
+    /// Measured rollback distances under coordination (seconds).
+    pub coordinated: Summary,
+    /// Measured rollback distances under write-through (seconds).
+    pub write_through: Summary,
+    /// Analytic `E[D_co]` prediction.
+    pub model_co: f64,
+    /// Analytic `E[D_wt]` prediction.
+    pub model_wt: f64,
+}
+
+/// Parameters of the Figure 7 sweep (shared by the binary, the criterion
+/// bench and the integration test).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Params {
+    /// Seeds per point (more = tighter confidence intervals).
+    pub seeds: u64,
+    /// Mission length in seconds.
+    pub duration_secs: f64,
+    /// External (validated) message rate per component, per minute.
+    pub external_per_min: f64,
+    /// TB checkpoint interval in seconds.
+    pub tb_interval_secs: f64,
+}
+
+impl Default for Fig7Params {
+    fn default() -> Self {
+        Fig7Params {
+            seeds: 20,
+            duration_secs: 900.0,
+            external_per_min: 2.0,
+            tb_interval_secs: 2.0,
+        }
+    }
+}
+
+/// Runs one scheme at one internal rate over `params.seeds` seeded missions
+/// and collects every hardware rollback distance.
+pub fn rollback_distances(
+    scheme: Scheme,
+    internal_per_hour: f64,
+    params: Fig7Params,
+) -> Summary {
+    let mut summary = Summary::new();
+    for seed in 0..params.seeds {
+        // Spread the fault over the middle of the mission so distances are
+        // sampled at many phases of the checkpoint/validation cycles.
+        let fault_at = params.duration_secs * (0.55 + 0.3 * (seed as f64 / params.seeds as f64));
+        let outcome = Mission::new(
+            SystemConfig::builder()
+                .scheme(scheme)
+                .seed(seed)
+                .duration_secs(params.duration_secs)
+                .internal_rate_per_min(internal_per_hour / 60.0)
+                .external_rate_per_min(params.external_per_min)
+                .tb_interval_secs(params.tb_interval_secs)
+                .hardware_fault_at_secs(fault_at)
+                .trace(false)
+                .build(),
+        )
+        .run();
+        if scheme == Scheme::WriteThrough {
+            // The write-through baseline's per-validation checkpoints are
+            // not taken simultaneously across processes, so rare
+            // interleavings violate recoverability (a message acked between
+            // the receiver's and the sender's Type-2 writes is reflected as
+            // sent but neither received nor restorable). The paper
+            // criticizes write-through only on cost; this reproduction
+            // additionally observes the correctness gap (EXPERIMENTS.md).
+            // Validity must still hold: restored states are never
+            // contaminated.
+            assert!(
+                outcome.verdicts.of("validity-self").is_empty()
+                    && outcome.verdicts.of("validity-ground-truth").is_empty(),
+                "{scheme:?} violated validity: {:?}",
+                outcome.verdicts.violations
+            );
+        } else {
+            assert!(
+                outcome.verdicts.all_hold(),
+                "{scheme:?} violated invariants: {:?}",
+                outcome.verdicts.violations
+            );
+        }
+        summary.extend(outcome.metrics.hardware_rollback_distances());
+    }
+    summary
+}
+
+/// The full Figure 7 sweep: internal rate 60..=200 messages/hour.
+pub fn fig7_sweep(params: Fig7Params) -> Vec<Fig7Point> {
+    let lambda_v = 2.0 * params.external_per_min / 60.0; // both components validate
+    (60..=200)
+        .step_by(20)
+        .map(|rate| {
+            let rate = rate as f64;
+            let lambda_i = rate / 3600.0;
+            Fig7Point {
+                internal_per_hour: rate,
+                coordinated: rollback_distances(Scheme::Coordinated, rate, params),
+                write_through: rollback_distances(Scheme::WriteThrough, rate, params),
+                model_co: synergy::model::expected_rollback_coordinated(
+                    lambda_v,
+                    lambda_i,
+                    params.tb_interval_secs,
+                ),
+                model_wt: synergy::model::expected_rollback_write_through(lambda_v),
+            }
+        })
+        .collect()
+}
+
+/// Renders a row-aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderer_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     "));
+    }
+
+    #[test]
+    fn small_sweep_point_produces_distances() {
+        let params = Fig7Params {
+            seeds: 2,
+            duration_secs: 120.0,
+            external_per_min: 4.0,
+            tb_interval_secs: 2.0,
+        };
+        let s = rollback_distances(Scheme::Coordinated, 120.0, params);
+        assert_eq!(s.len(), 6, "3 processes x 2 seeds");
+        assert!(s.mean() >= 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Node-local clock readings.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+use synergy_des::SimDuration;
+
+/// A reading of one node's hardware clock, in nanoseconds since that clock's
+/// origin.
+///
+/// `LocalTime` and [`SimTime`](synergy_des::SimTime) are distinct types on
+/// purpose: a timer deadline expressed in local time means nothing on the
+/// global axis until translated through the owning
+/// [`DriftingClock`](crate::DriftingClock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalTime(u64);
+
+impl LocalTime {
+    /// The clock origin.
+    pub const ZERO: LocalTime = LocalTime(0);
+
+    /// Constructs a reading from nanoseconds since the clock origin.
+    pub const fn from_nanos(ns: u64) -> Self {
+        LocalTime(ns)
+    }
+
+    /// Nanoseconds since the clock origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the clock origin, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`, clamping at zero when `earlier` is
+    /// later.
+    pub fn saturating_duration_since(self, earlier: LocalTime) -> SimDuration {
+        SimDuration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for LocalTime {
+    type Output = LocalTime;
+    fn add(self, rhs: SimDuration) -> LocalTime {
+        LocalTime(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("LocalTime overflow"),
+        )
+    }
+}
+
+impl Sub<SimDuration> for LocalTime {
+    type Output = LocalTime;
+    fn sub(self, rhs: SimDuration) -> LocalTime {
+        LocalTime(
+            self.0
+                .checked_sub(rhs.as_nanos())
+                .expect("LocalTime underflow"),
+        )
+    }
+}
+
+impl Sub<LocalTime> for LocalTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: LocalTime) -> SimDuration {
+        SimDuration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("LocalTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for LocalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s(local)", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = LocalTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(t.as_nanos(), 10_000_000);
+        assert_eq!(t - LocalTime::from_nanos(4_000_000), SimDuration::from_millis(6));
+        assert_eq!(t - SimDuration::from_millis(10), LocalTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_duration() {
+        let a = LocalTime::from_nanos(5);
+        let b = LocalTime::from_nanos(9);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), SimDuration::from_nanos(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            LocalTime::from_nanos(1_500_000_000).to_string(),
+            "1.500000s(local)"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! System configuration and scheme selection.
+
+use synergy_clocks::SyncParams;
+use synergy_des::{SimDuration, SimTime};
+use synergy_mdcd::MdcdConfig;
+use synergy_storage::DiskModel;
+use synergy_tb::TbVariant;
+
+use crate::faults::{FaultPlan, HardwareFault, SoftwareFault};
+
+/// How the software and hardware fault-tolerance protocols are combined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The paper's contribution: modified MDCD + adapted TB, coordinated
+    /// through dirty bits and `Ndc` matching (§3–§4).
+    Coordinated,
+    /// The write-through baseline of §3: original MDCD whose Type-2
+    /// checkpoints are written through to stable storage on every
+    /// validation; no TB timers.
+    WriteThrough,
+    /// The invalid simple combination of §4.1: original MDCD and original
+    /// TB running concurrently with no coordination.
+    Naive,
+    /// Original MDCD alone (software fault tolerance only; hardware faults
+    /// lose all progress).
+    MdcdOnly,
+}
+
+impl Scheme {
+    /// The MDCD configuration this scheme runs.
+    pub fn mdcd_config(self) -> MdcdConfig {
+        match self {
+            Scheme::Coordinated => MdcdConfig::modified(),
+            Scheme::WriteThrough => MdcdConfig::write_through(),
+            Scheme::Naive | Scheme::MdcdOnly => MdcdConfig::original(),
+        }
+    }
+
+    /// The TB variant this scheme runs, if any.
+    pub fn tb_variant(self) -> Option<TbVariant> {
+        match self {
+            Scheme::Coordinated => Some(TbVariant::Adapted),
+            Scheme::Naive => Some(TbVariant::Original),
+            Scheme::WriteThrough | Scheme::MdcdOnly => None,
+        }
+    }
+
+    /// Whether Type-2 checkpoints are written through to stable storage.
+    pub fn stable_on_validation(self) -> bool {
+        self == Scheme::WriteThrough
+    }
+}
+
+/// Full configuration of one simulated mission.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Protocol combination under test.
+    pub scheme: Scheme,
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Mission length.
+    pub duration: SimDuration,
+    /// Minimum network delay (`tmin`).
+    pub tmin: SimDuration,
+    /// Maximum network delay (`tmax`).
+    pub tmax: SimDuration,
+    /// Clock synchronization quality (`δ`, `ρ`).
+    pub sync: SyncParams,
+    /// TB checkpoint interval (`Δ`).
+    pub tb_interval: SimDuration,
+    /// Internal application-message rate per component (Hz).
+    pub internal_rate_hz: f64,
+    /// External (device-bound, acceptance-tested) message rate per
+    /// component (Hz).
+    pub external_rate_hz: f64,
+    /// Scheduled faults.
+    pub faults: FaultPlan,
+    /// Delay between a hardware fault and system-wide recovery.
+    pub restart_delay: SimDuration,
+    /// Stable-storage write cost model.
+    pub disk: DiskModel,
+    /// Whether to record a full event trace (disable for long sweeps).
+    pub trace: bool,
+    /// Additional scripted application sends (used by the figure
+    /// scenarios); they fire once at the given instants, on top of (or, with
+    /// zero rates, instead of) the Poisson workload.
+    pub scripted_sends: Vec<ScriptedSend>,
+}
+
+/// One scripted application send.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScriptedSend {
+    /// When the application produces the message.
+    pub at: SimTime,
+    /// Which component produces it (1 drives both replicas, 2 drives `P2`).
+    pub component: u8,
+    /// Whether the message is external (acceptance-tested).
+    pub external: bool,
+}
+
+impl SystemConfig {
+    /// Starts building a configuration from defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SystemConfig`]; all setters are optional.
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfigBuilder {
+            cfg: SystemConfig {
+                scheme: Scheme::Coordinated,
+                seed: 0,
+                duration: SimDuration::from_secs(300),
+                tmin: SimDuration::from_micros(200),
+                tmax: SimDuration::from_millis(2),
+                sync: SyncParams::new(SimDuration::from_micros(500), 1e-4),
+                tb_interval: SimDuration::from_secs(10),
+                internal_rate_hz: 1.0,
+                external_rate_hz: 1.0 / 60.0,
+                faults: FaultPlan::default(),
+                restart_delay: SimDuration::from_millis(500),
+                disk: DiskModel::commodity(),
+                trace: true,
+                scripted_sends: Vec::new(),
+            },
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Sets the protocol scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the mission length in seconds.
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.cfg.duration = SimDuration::from_secs_f64(secs);
+        self
+    }
+
+    /// Sets the network delay bounds.
+    pub fn delays(mut self, tmin: SimDuration, tmax: SimDuration) -> Self {
+        assert!(tmin <= tmax, "tmin must not exceed tmax");
+        self.cfg.tmin = tmin;
+        self.cfg.tmax = tmax;
+        self
+    }
+
+    /// Sets clock synchronization quality.
+    pub fn sync(mut self, sync: SyncParams) -> Self {
+        self.cfg.sync = sync;
+        self
+    }
+
+    /// Sets the TB checkpoint interval in seconds.
+    pub fn tb_interval_secs(mut self, secs: f64) -> Self {
+        self.cfg.tb_interval = SimDuration::from_secs_f64(secs);
+        self
+    }
+
+    /// Sets the per-component internal message rate, in messages/minute.
+    pub fn internal_rate_per_min(mut self, per_min: f64) -> Self {
+        self.cfg.internal_rate_hz = per_min / 60.0;
+        self
+    }
+
+    /// Sets the per-component external message rate, in messages/minute.
+    pub fn external_rate_per_min(mut self, per_min: f64) -> Self {
+        self.cfg.external_rate_hz = per_min / 60.0;
+        self
+    }
+
+    /// Schedules a hardware fault on `P2`'s node (node 2) at `secs`.
+    pub fn hardware_fault_at_secs(mut self, secs: f64) -> Self {
+        self.cfg.faults.hardware.push(HardwareFault {
+            at: SimTime::from_secs_f64(secs),
+            node: 2,
+        });
+        self
+    }
+
+    /// Schedules a hardware fault on an arbitrary node.
+    pub fn hardware_fault(mut self, fault: HardwareFault) -> Self {
+        self.cfg.faults.hardware.push(fault);
+        self
+    }
+
+    /// Activates the active version's design fault at `secs` (the next
+    /// acceptance test after this instant fails).
+    pub fn software_fault_at_secs(mut self, secs: f64) -> Self {
+        self.cfg.faults.software = Some(SoftwareFault {
+            at: SimTime::from_secs_f64(secs),
+        });
+        self
+    }
+
+    /// Sets the fault-to-recovery delay.
+    pub fn restart_delay(mut self, delay: SimDuration) -> Self {
+        self.cfg.restart_delay = delay;
+        self
+    }
+
+    /// Enables or disables trace recording.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Disables the Poisson workload entirely (scripted scenarios drive all
+    /// traffic through [`scripted_send`](Self::scripted_send)).
+    pub fn no_workload(mut self) -> Self {
+        self.cfg.internal_rate_hz = 0.0;
+        self.cfg.external_rate_hz = 0.0;
+        self
+    }
+
+    /// Adds one scripted application send.
+    pub fn scripted_send(mut self, at_secs: f64, component: u8, external: bool) -> Self {
+        assert!(component == 1 || component == 2, "component must be 1 or 2");
+        self.cfg.scripted_sends.push(ScriptedSend {
+            at: SimTime::from_secs_f64(at_secs),
+            component,
+            external,
+        });
+        self
+    }
+
+    /// Uses a fixed network delay for every link (deterministic scenarios).
+    pub fn fixed_delay(mut self, delay: SimDuration) -> Self {
+        self.cfg.tmin = delay;
+        self.cfg.tmax = delay;
+        self
+    }
+
+    /// Uses perfectly synchronized, drift-free clocks.
+    pub fn perfect_clocks(mut self) -> Self {
+        self.cfg.sync = SyncParams::new(SimDuration::ZERO, 0.0);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_mdcd::Variant;
+
+    #[test]
+    fn scheme_protocol_mapping() {
+        assert_eq!(
+            Scheme::Coordinated.mdcd_config().variant,
+            Variant::Modified
+        );
+        assert_eq!(Scheme::Coordinated.tb_variant(), Some(TbVariant::Adapted));
+        assert_eq!(Scheme::Naive.tb_variant(), Some(TbVariant::Original));
+        assert_eq!(Scheme::WriteThrough.tb_variant(), None);
+        assert!(Scheme::WriteThrough.stable_on_validation());
+        assert!(Scheme::WriteThrough.mdcd_config().active_type2);
+        assert!(!Scheme::Coordinated.stable_on_validation());
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let cfg = SystemConfig::builder().build();
+        assert_eq!(cfg.scheme, Scheme::Coordinated);
+        assert!(cfg.tmin <= cfg.tmax);
+        assert!(cfg.tb_interval > SimDuration::ZERO);
+        assert!(cfg.faults.hardware.is_empty());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = SystemConfig::builder()
+            .scheme(Scheme::Naive)
+            .seed(7)
+            .duration_secs(60.0)
+            .internal_rate_per_min(120.0)
+            .external_rate_per_min(3.0)
+            .hardware_fault_at_secs(30.0)
+            .software_fault_at_secs(20.0)
+            .build();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.internal_rate_hz, 2.0);
+        assert_eq!(cfg.external_rate_hz, 0.05);
+        assert_eq!(cfg.faults.hardware.len(), 1);
+        assert!(cfg.faults.software.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "tmin must not exceed tmax")]
+    fn inverted_delays_rejected() {
+        SystemConfig::builder().delays(SimDuration::from_millis(5), SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Scheduled fault injection.
+
+use synergy_des::SimTime;
+
+/// Activation of the low-confidence version's design fault: every external
+/// message `P1act` produces after `at` fails its acceptance test until
+/// recovery replaces the version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoftwareFault {
+    /// Activation instant.
+    pub at: SimTime,
+}
+
+/// A transient hardware fault crashing one node: volatile storage is lost,
+/// any in-flight stable write is torn, and the system performs a global
+/// rollback to stable checkpoints after the configured recovery delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareFault {
+    /// Crash instant.
+    pub at: SimTime,
+    /// Node index (0 = `P1act`, 1 = `P1sdw`, 2 = `P2`).
+    pub node: usize,
+}
+
+/// The fault schedule of one mission.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// At most one software-fault activation (guarded operation ends at the
+    /// first takeover).
+    pub software: Option<SoftwareFault>,
+    /// Any number of hardware faults, in any order.
+    pub hardware: Vec<HardwareFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Validates node indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hardware fault names a node outside `0..3`.
+    pub fn validate(&self) {
+        for f in &self.hardware {
+            assert!(f.node < 3, "node index {} out of range", f.node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        let p = FaultPlan::none();
+        assert!(p.software.is_none());
+        assert!(p.hardware.is_empty());
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_rejected() {
+        let p = FaultPlan {
+            software: None,
+            hardware: vec![HardwareFault {
+                at: SimTime::ZERO,
+                node: 9,
+            }],
+        };
+        p.validate();
+    }
+}

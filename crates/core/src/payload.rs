@@ -1,0 +1,138 @@
+//! The composite checkpoint payload.
+
+use serde::{Deserialize, Serialize};
+use synergy_des::SimTime;
+use synergy_mdcd::EngineSnapshot;
+use synergy_net::{Envelope, MsgSeqNo, ProcessId};
+use synergy_storage::{Checkpoint, CheckpointError};
+
+/// One outgoing application message, as recorded by the host for the
+/// global-state checkers (who needs to know *where* each sequence number
+/// went, which the engine's counter alone cannot tell).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SentRecord {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Sender-assigned sequence number.
+    pub seq: MsgSeqNo,
+}
+
+/// Everything one process must persist to be recoverable: application state,
+/// MDCD engine control state, and — for stable checkpoints — the messages
+/// sent but not yet acknowledged (the TB recoverability rule, paper §2.2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPayload {
+    /// Serialized application state.
+    pub app: Vec<u8>,
+    /// MDCD engine snapshot taken at the same instant.
+    pub engine: EngineSnapshot,
+    /// Unacknowledged outgoing messages to re-send on hardware recovery
+    /// (empty in volatile checkpoints — MDCD recovery restores messages from
+    /// the shadow's log instead).
+    pub unacked: Vec<Envelope>,
+    /// Every process-to-process application message this state reflects as
+    /// sent, in sending order (consumed by the global-state checkers).
+    pub sent: Vec<SentRecord>,
+    /// Receive log attached to volatile-copy stable checkpoints: messages
+    /// delivered *after* the copied state was snapshotted. On hardware
+    /// recovery the driver replays those of them that the restored global
+    /// cut still reflects as sent, closing the receiver-side recoverability
+    /// gap (DESIGN.md §8, decision 5). Empty for current-state checkpoints.
+    pub replay: Vec<Envelope>,
+    /// True simulation time of the *state* captured here. Copying a volatile
+    /// checkpoint into a stable one preserves this timestamp: rollback
+    /// distance is measured against the age of the restored state, not the
+    /// time the disk write happened.
+    pub state_time_nanos: u64,
+}
+
+impl CheckpointPayload {
+    /// Bundles a payload.
+    pub fn new(
+        app: Vec<u8>,
+        engine: EngineSnapshot,
+        unacked: Vec<Envelope>,
+        sent: Vec<SentRecord>,
+        state_time: SimTime,
+    ) -> Self {
+        CheckpointPayload {
+            app,
+            engine,
+            unacked,
+            sent,
+            replay: Vec::new(),
+            state_time_nanos: state_time.as_nanos(),
+        }
+    }
+
+    /// The instant the captured state was live.
+    pub fn state_time(&self) -> SimTime {
+        SimTime::from_nanos(self.state_time_nanos)
+    }
+
+    /// Encodes into a storage [`Checkpoint`] record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures (none occur for well-formed payloads).
+    pub fn into_checkpoint(
+        self,
+        seq: u64,
+        label: impl Into<String>,
+    ) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::encode(seq, self.state_time(), label, &self)
+    }
+
+    /// Decodes a payload back out of a storage record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on corruption or format mismatch.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        ckpt.decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_net::MsgSeqNo;
+
+    fn sample() -> CheckpointPayload {
+        CheckpointPayload::new(
+            vec![1, 2, 3],
+            EngineSnapshot {
+                dirty: true,
+                msg_sn: MsgSeqNo(4),
+                ..EngineSnapshot::default()
+            },
+            Vec::new(),
+            vec![SentRecord {
+                to: ProcessId(3),
+                seq: MsgSeqNo(4),
+            }],
+            SimTime::from_secs_f64(1.5),
+        )
+    }
+
+    #[test]
+    fn roundtrips_through_storage() {
+        let payload = sample();
+        let ckpt = payload.clone().into_checkpoint(7, "stable").unwrap();
+        assert_eq!(ckpt.seq(), 7);
+        assert_eq!(ckpt.taken_at(), SimTime::from_secs_f64(1.5));
+        let back = CheckpointPayload::from_checkpoint(&ckpt).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn state_time_survives_copying() {
+        // Copying volatile -> stable must preserve the original state time:
+        // this is what makes rollback-distance accounting honest.
+        let payload = sample();
+        let volatile = payload.clone().into_checkpoint(1, "type1").unwrap();
+        let copied = CheckpointPayload::from_checkpoint(&volatile).unwrap();
+        let stable = copied.into_checkpoint(2, "stable-copy").unwrap();
+        assert_eq!(stable.taken_at(), SimTime::from_secs_f64(1.5));
+    }
+}

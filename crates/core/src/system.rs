@@ -1,0 +1,1417 @@
+//! The simulated three-node guarded system.
+//!
+//! `System` is the discrete-event driver that hosts the sans-io MDCD and TB
+//! engines on simulated nodes, clocks, network and storage, injects faults,
+//! orchestrates both recovery procedures, and runs the global-state checkers
+//! at every recovery point.
+//!
+//! Topology (paper §2.1): node 0 runs `P1act`, node 1 runs `P1sdw`, node 2
+//! runs `P2`; one device endpoint models the external world.
+
+use synergy_clocks::{ClockFleet, LocalTime};
+use synergy_des::{ActorId, DetRng, EventId, SimTime, Simulator, Trace};
+use synergy_mdcd::{
+    Action as MdcdAction, CheckpointKind, Event as MdcdEvent, OutboundMessage, ProcessRole,
+    RecoveryDecision,
+};
+use synergy_net::{
+    AckTracker, DelayModel, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+    RouteDecision, SimNetwork,
+};
+use synergy_storage::{StableStore, VolatileStore};
+use synergy_tb::{
+    Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine,
+};
+
+use crate::app::{Application, CounterApp};
+use crate::checkers::{GlobalChecker, RestoredState, Verdicts, Violation};
+use crate::config::SystemConfig;
+use crate::metrics::{RollbackCause, RollbackRecord, RunMetrics};
+use crate::payload::{CheckpointPayload, SentRecord};
+use crate::roles::RoleEngine;
+use crate::workload::ArrivalStream;
+
+/// `P1act`'s process id.
+pub const P1ACT: ProcessId = ProcessId(1);
+/// `P1sdw`'s process id.
+pub const P1SDW: ProcessId = ProcessId(2);
+/// `P2`'s process id.
+pub const P2: ProcessId = ProcessId(3);
+/// The external device.
+pub const DEVICE: DeviceId = DeviceId(0);
+
+/// Sequence-number namespace for transport acks (disjoint from both the
+/// application counter and the engines' control counter).
+const ACK_SEQ_BASE: u64 = 1 << 62;
+
+/// The paper's name for a process id in the canonical layout (`P1act`,
+/// `P1sdw`, `P2`), or `"?"` for ids outside it.
+pub fn process_name(pid: ProcessId) -> &'static str {
+    match pid {
+        P1ACT => "P1act",
+        P1SDW => "P1sdw",
+        P2 => "P2",
+        _ => "?",
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Deliver { env: Envelope, inc: u64 },
+    TbTimer { deadline: LocalTime, epoch: u64 },
+    BlockingOver { epoch: u64 },
+    Tick { component: u8, external: bool, scripted: bool },
+    SoftwareFaultActivate,
+    HardwareCrash { node: usize },
+    HardwareRecover,
+    Resync,
+    End,
+}
+
+struct Host {
+    pid: ProcessId,
+    node: usize,
+    app: CounterApp,
+    engine: RoleEngine,
+    tb: Option<TbEngine>,
+    volatile: VolatileStore,
+    stable: StableStore,
+    acks: AckTracker,
+    sent_log: Vec<SentRecord>,
+    up: bool,
+    dead: bool,
+    volatile_seq: u64,
+    wt_stable_seq: u64,
+    ack_sn: u64,
+    tb_epoch: u64,
+    timer_event: Option<EventId>,
+    blocking_started_at: Option<SimTime>,
+    /// Set once this process's state has been installed by a state
+    /// transfer (shadow refresh); message-history checks then no longer
+    /// apply to it.
+    synthetic_history: bool,
+    /// Application messages delivered since the last volatile checkpoint;
+    /// attached to volatile-copy stable writes so recovery can replay
+    /// receipts the copied state predates (DESIGN.md §8, decision 5).
+    recv_log: Vec<Envelope>,
+}
+
+impl Host {
+    fn current_payload(&self, now: SimTime) -> CheckpointPayload {
+        CheckpointPayload::new(
+            self.app.snapshot(),
+            self.engine.snapshot(),
+            self.acks.unacked(),
+            self.sent_log.clone(),
+            now,
+        )
+    }
+}
+
+/// The running simulation. For scripted scenarios use the fine-grained
+/// accessors; for statistical runs prefer [`Mission`].
+pub struct System {
+    cfg: SystemConfig,
+    sim: Simulator<Ev>,
+    net: SimNetwork,
+    clocks: ClockFleet,
+    hosts: Vec<Host>,
+    host_actors: Vec<ActorId>,
+    device_actor: ActorId,
+    system_actor: ActorId,
+    device_log: Vec<(SimTime, Envelope)>,
+    arrivals: Vec<(u8, bool, ArrivalStream)>,
+    metrics: RunMetrics,
+    verdicts: Verdicts,
+    global_validated: MsgSeqNo,
+    net_inc: u64,
+    resync_pending: bool,
+    software_recovered: bool,
+    crash_pending: Vec<usize>,
+    finished: bool,
+}
+
+impl System {
+    /// Builds a system from `cfg` (faults validated, workload scheduled).
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.faults.validate();
+        let mut sim: Simulator<Ev> = Simulator::new(cfg.seed);
+        if !cfg.trace {
+            sim.trace().disable();
+        }
+        let a_act = sim.register_actor("P1act");
+        let a_sdw = sim.register_actor("P1sdw");
+        let a_p2 = sim.register_actor("P2");
+        let device_actor = sim.register_actor("device");
+        let system_actor = sim.register_actor("system");
+
+        let root = DetRng::new(cfg.seed);
+        let net = SimNetwork::new(
+            DelayModel::uniform(cfg.tmin, cfg.tmax),
+            root.stream("network"),
+        );
+        let clocks = ClockFleet::generate(3, cfg.sync, &root);
+
+        let mdcd_cfg = cfg.scheme.mdcd_config();
+        let tb_cfg = cfg.scheme.tb_variant().map(|variant| {
+            TbConfig::new(variant, cfg.tb_interval, cfg.sync, cfg.tmin, cfg.tmax)
+        });
+
+        let mk_host = |role: ProcessRole, pid: ProcessId, node: usize| Host {
+            pid,
+            node,
+            // All three applications share one salt: the replicas must
+            // produce identical streams, and the restart-from-scratch path
+            // reconstructs the same initial state.
+            app: CounterApp::new(cfg.seed ^ 0xA5A5),
+            engine: RoleEngine::new(role, mdcd_cfg, P1ACT, P1SDW, P2),
+            tb: tb_cfg.map(TbEngine::new),
+            volatile: VolatileStore::new(),
+            stable: StableStore::new(),
+            acks: AckTracker::new(),
+            sent_log: Vec::new(),
+            up: true,
+            dead: false,
+            volatile_seq: 0,
+            wt_stable_seq: 0,
+            ack_sn: 0,
+            tb_epoch: 0,
+            timer_event: None,
+            blocking_started_at: None,
+            synthetic_history: false,
+            recv_log: Vec::new(),
+        };
+        let hosts = vec![
+            mk_host(ProcessRole::Active, P1ACT, 0),
+            mk_host(ProcessRole::Shadow, P1SDW, 1),
+            mk_host(ProcessRole::Peer, P2, 2),
+        ];
+
+        let mut sys = System {
+            sim,
+            net,
+            clocks,
+            hosts,
+            host_actors: vec![a_act, a_sdw, a_p2],
+            device_actor,
+            system_actor,
+            device_log: Vec::new(),
+            arrivals: Vec::new(),
+            metrics: RunMetrics::new(),
+            verdicts: Verdicts::default(),
+            global_validated: MsgSeqNo(0),
+            net_inc: 0,
+            resync_pending: false,
+            software_recovered: false,
+            crash_pending: Vec::new(),
+            finished: false,
+            cfg,
+        };
+        sys.bootstrap(root);
+        sys
+    }
+
+    fn bootstrap(&mut self, root: DetRng) {
+        // Workload streams: component 1 drives both replicas, component 2
+        // drives P2; internal and external arrivals are independent streams.
+        for (component, external) in [(1u8, false), (1, true), (2, false), (2, true)] {
+            let rate = if external {
+                self.cfg.external_rate_hz
+            } else {
+                self.cfg.internal_rate_hz
+            };
+            if rate <= 0.0 {
+                continue;
+            }
+            let label = format!("workload:c{component}:ext{external}");
+            let mut stream = ArrivalStream::new(rate, root.stream(&label));
+            let first = stream.next_interarrival();
+            self.arrivals.push((component, external, stream));
+            self.sim.schedule_in(
+                first,
+                self.system_actor,
+                Ev::Tick {
+                    component,
+                    external,
+                    scripted: false,
+                },
+            );
+        }
+        // TB timers.
+        for i in 0..3 {
+            if self.hosts[i].tb.is_some() {
+                let actions = self.hosts[i].tb.as_mut().expect("checked").start();
+                let now = self.sim.now();
+                self.apply_tb_actions(i, actions, now);
+            }
+        }
+        // Scripted sends (one-shot: no arrival stream exists for them, so
+        // on_tick does not reschedule).
+        for s in self.cfg.scripted_sends.clone() {
+            self.sim.schedule_at(
+                s.at,
+                self.system_actor,
+                Ev::Tick {
+                    component: s.component,
+                    external: s.external,
+                    scripted: true,
+                },
+            );
+        }
+        // Faults.
+        if let Some(sw) = self.cfg.faults.software {
+            self.sim
+                .schedule_at(sw.at, self.system_actor, Ev::SoftwareFaultActivate);
+        }
+        for hw in self.cfg.faults.hardware.clone() {
+            self.sim
+                .schedule_at(hw.at, self.system_actor, Ev::HardwareCrash { node: hw.node });
+        }
+        let end = SimTime::ZERO + self.cfg.duration;
+        self.sim.schedule_at(end, self.system_actor, Ev::End);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Checker verdicts collected so far.
+    pub fn verdicts(&self) -> &Verdicts {
+        &self.verdicts
+    }
+
+    /// The run trace.
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace_ref()
+    }
+
+    /// External messages received by the device, in arrival order.
+    pub fn device_log(&self) -> &[(SimTime, Envelope)] {
+        &self.device_log
+    }
+
+    /// The ground-truth highest validated sequence number.
+    pub fn global_validated(&self) -> MsgSeqNo {
+        self.global_validated
+    }
+
+    /// Dirty bits `(P1act pseudo, P1sdw, P2)` right now.
+    pub fn dirty_bits(&self) -> (bool, bool, bool) {
+        (
+            self.hosts[0].engine.checkpoint_bit(),
+            self.hosts[1].engine.dirty_bit(),
+            self.hosts[2].engine.dirty_bit(),
+        )
+    }
+
+    /// Whether the shadow has taken over.
+    pub fn shadow_promoted(&self) -> bool {
+        self.hosts[1].engine.role() == ProcessRole::Active
+    }
+
+    /// Application state of host `i` (0 = act, 1 = sdw, 2 = P2).
+    pub fn app_state(&self, i: usize) -> &crate::app::CounterState {
+        self.hosts[i].app.state()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs until the configured duration elapses.
+    pub fn run(&mut self) {
+        while !self.finished {
+            let Some(fired) = self.sim.step() else { break };
+            self.dispatch(fired.actor, fired.time, fired.event);
+        }
+    }
+
+    fn dispatch(&mut self, actor: ActorId, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::End => self.finished = true,
+            Ev::Deliver { env, inc } => self.on_deliver(actor, now, env, inc),
+            Ev::TbTimer { deadline, epoch } => self.on_tb_timer(actor, now, deadline, epoch),
+            Ev::BlockingOver { epoch } => self.on_blocking_over(actor, now, epoch),
+            Ev::Tick {
+                component,
+                external,
+                scripted,
+            } => self.on_tick(now, component, external, scripted),
+            Ev::SoftwareFaultActivate => {
+                self.sim.record(self.system_actor, "fault.software", "design fault armed");
+                self.hosts[0].app.set_faulty(true);
+            }
+            Ev::HardwareCrash { node } => self.on_hardware_crash(now, node),
+            Ev::HardwareRecover => self.on_hardware_recover(now),
+            Ev::Resync => self.on_resync(now),
+        }
+    }
+
+    fn host_index_of_actor(&self, actor: ActorId) -> Option<usize> {
+        self.host_actors.iter().position(|a| *a == actor)
+    }
+
+    fn on_deliver(&mut self, actor: ActorId, now: SimTime, env: Envelope, inc: u64) {
+        if inc != self.net_inc {
+            return; // pre-recovery traffic
+        }
+        if actor == self.device_actor {
+            self.sim.record(self.device_actor, "device.recv", env.to_string());
+            self.device_log.push((now, env));
+            return;
+        }
+        let Some(i) = self.host_index_of_actor(actor) else {
+            return;
+        };
+        if !self.hosts[i].up {
+            return; // crashed node: message lost
+        }
+        // Messages from a process dead by takeover are stale.
+        if let Some(s) = self.hosts.iter().position(|h| h.pid == env.from()) {
+            if self.hosts[s].dead {
+                return;
+            }
+        }
+        if let MessageBody::Ack { of } = env.body {
+            self.hosts[i].acks.on_ack(of);
+            return;
+        }
+        self.sim
+            .record(self.host_actors[i], "msg.recv", env.to_string());
+        let bit_before = self.hosts[i].engine.checkpoint_bit();
+        let actions = self.hosts[i].engine.handle(MdcdEvent::Deliver(env));
+        self.apply_mdcd_actions(i, actions, now);
+        let bit_after = self.hosts[i].engine.checkpoint_bit();
+        if bit_before && !bit_after {
+            self.notify_dirty_cleared(i, now);
+        }
+    }
+
+    fn notify_dirty_cleared(&mut self, i: usize, now: SimTime) {
+        let Some(tb) = self.hosts[i].tb.as_mut() else {
+            return;
+        };
+        if !tb.is_blocking() {
+            return;
+        }
+        let actions = tb.handle(TbEvent::DirtyCleared);
+        self.apply_tb_actions(i, actions, now);
+    }
+
+    fn on_tb_timer(&mut self, actor: ActorId, now: SimTime, deadline: LocalTime, epoch: u64) {
+        let Some(i) = self.host_index_of_actor(actor) else {
+            return;
+        };
+        let host = &mut self.hosts[i];
+        if !host.up || host.dead || epoch != host.tb_epoch {
+            return;
+        }
+        host.timer_event = None;
+        let dirty = host.engine.checkpoint_bit();
+        let Some(tb) = host.tb.as_mut() else { return };
+        let now_local = deadline; // the timer fired exactly at its local deadline
+        let actions = tb.handle(TbEvent::TimerExpired { now_local, dirty });
+        self.sim.record(
+            self.host_actors[i],
+            "tb.timer",
+            format!("dirty={} local={deadline}", u8::from(dirty)),
+        );
+        self.apply_tb_actions(i, actions, now);
+    }
+
+    fn on_blocking_over(&mut self, actor: ActorId, now: SimTime, epoch: u64) {
+        let Some(i) = self.host_index_of_actor(actor) else {
+            return;
+        };
+        if !self.hosts[i].up || epoch != self.hosts[i].tb_epoch {
+            return;
+        }
+        let Some(tb) = self.hosts[i].tb.as_mut() else {
+            return;
+        };
+        let actions = tb.handle(TbEvent::BlockingElapsed);
+        self.apply_tb_actions(i, actions, now);
+    }
+
+    fn on_tick(&mut self, now: SimTime, component: u8, external: bool, scripted: bool) {
+        // Schedule the next arrival of this stream first (scripted sends
+        // are one-shot).
+        if !scripted {
+            if let Some((_, _, stream)) = self
+                .arrivals
+                .iter_mut()
+                .find(|(c, e, _)| *c == component && *e == external)
+            {
+                let gap = stream.next_interarrival();
+                self.sim.schedule_in(
+                    gap,
+                    self.system_actor,
+                    Ev::Tick {
+                        component,
+                        external,
+                        scripted: false,
+                    },
+                );
+            }
+        }
+        let targets: &[usize] = if component == 1 { &[0, 1] } else { &[2] };
+        for &i in targets {
+            if !self.hosts[i].up || self.hosts[i].dead {
+                continue;
+            }
+            let host = &mut self.hosts[i];
+            let (payload, to): (Vec<u8>, Endpoint) = if external {
+                (host.app.produce_external(), Endpoint::Device(DEVICE))
+            } else {
+                let dest = match host.engine.role() {
+                    ProcessRole::Peer => Endpoint::Process(P1ACT), // engine broadcasts
+                    _ => Endpoint::Process(P2),
+                };
+                (host.app.produce_internal(), dest)
+            };
+            let at_pass = host.app.acceptance_test(&payload);
+            let actions = host.engine.handle(MdcdEvent::AppSend(OutboundMessage {
+                to,
+                payload,
+                external,
+                at_pass,
+            }));
+            self.apply_mdcd_actions(i, actions, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Action execution
+    // ------------------------------------------------------------------
+
+    fn apply_mdcd_actions(&mut self, i: usize, actions: Vec<MdcdAction>, now: SimTime) {
+        let mut software_error = false;
+        for action in actions {
+            match action {
+                MdcdAction::Send(env) => self.send_envelope(i, env, now),
+                MdcdAction::TakeCheckpoint { kind, engine } => {
+                    self.take_volatile_checkpoint(i, kind, engine, now);
+                }
+                MdcdAction::DeliverToApp(env) => {
+                    let host = &mut self.hosts[i];
+                    if let MessageBody::Application { payload, .. } = &env.body {
+                        host.app.on_message(env.from(), env.id.seq, payload);
+                        host.recv_log.push(env.clone());
+                        self.metrics.messages_delivered += 1;
+                    }
+                    // Transport-level acknowledgment back to the sender.
+                    let host = &mut self.hosts[i];
+                    host.ack_sn += 1;
+                    let ack = Envelope::new(
+                        MsgId {
+                            from: host.pid,
+                            seq: MsgSeqNo(ACK_SEQ_BASE + host.ack_sn),
+                        },
+                        env.from(),
+                        MessageBody::Ack { of: env.id },
+                    );
+                    self.route_only(ack, now);
+                }
+                MdcdAction::AtPerformed { pass } => {
+                    self.metrics.at_runs += 1;
+                    if pass {
+                        self.sim.record(self.host_actors[i], "at.pass", "");
+                    } else {
+                        self.metrics.at_failures += 1;
+                        self.sim.record(self.host_actors[i], "at.fail", "");
+                    }
+                }
+                MdcdAction::SoftwareErrorDetected => software_error = true,
+            }
+        }
+        if software_error {
+            self.software_recovery(now);
+        }
+    }
+
+    fn send_envelope(&mut self, i: usize, env: Envelope, now: SimTime) {
+        {
+            let host = &mut self.hosts[i];
+            if let (MessageBody::Application { .. }, Endpoint::Process(_)) = (&env.body, env.to) {
+                host.sent_log.push(SentRecord {
+                    to: match env.to {
+                        Endpoint::Process(p) => p,
+                        Endpoint::Device(_) => unreachable!("guarded above"),
+                    },
+                    seq: env.id.seq,
+                });
+                host.acks.on_send(env.clone());
+            }
+        }
+        if let MessageBody::PassedAt { msg_sn, .. } = env.body {
+            self.global_validated = self.global_validated.max(msg_sn);
+        }
+        self.metrics.messages_sent += 1;
+        self.sim
+            .record(self.host_actors[i], "msg.send", env.to_string());
+        self.route_only(env, now);
+    }
+
+    fn route_only(&mut self, env: Envelope, now: SimTime) {
+        let actor = match env.to {
+            Endpoint::Process(p) => match self.hosts.iter().position(|h| h.pid == p) {
+                Some(idx) => self.host_actors[idx],
+                None => return,
+            },
+            Endpoint::Device(_) => self.device_actor,
+        };
+        match self.net.route(now, &env) {
+            RouteDecision::Deliver { at, duplicate_at } => {
+                let inc = self.net_inc;
+                self.sim.schedule_at(
+                    at.max(now),
+                    actor,
+                    Ev::Deliver {
+                        env: env.clone(),
+                        inc,
+                    },
+                );
+                if let Some(dup) = duplicate_at {
+                    self.sim
+                        .schedule_at(dup.max(now), actor, Ev::Deliver { env, inc });
+                }
+            }
+            RouteDecision::Dropped => {}
+        }
+    }
+
+    fn take_volatile_checkpoint(
+        &mut self,
+        i: usize,
+        kind: CheckpointKind,
+        engine: synergy_mdcd::EngineSnapshot,
+        now: SimTime,
+    ) {
+        let host = &mut self.hosts[i];
+        host.volatile_seq += 1;
+        let payload = CheckpointPayload::new(
+            host.app.snapshot(),
+            engine,
+            Vec::new(),
+            host.sent_log.clone(),
+            now,
+        );
+        let ckpt = payload
+            .clone()
+            .into_checkpoint(host.volatile_seq, kind.to_string())
+            .expect("payload encodes");
+        host.volatile.save(ckpt);
+        host.recv_log.clear();
+        self.metrics.count_volatile(kind);
+        self.sim
+            .record(self.host_actors[i], format!("ckpt.{kind}"), "volatile");
+        // Write-through baseline: Type-2 checkpoints are persisted.
+        if self.cfg.scheme.stable_on_validation() && kind == CheckpointKind::Type2 {
+            let host = &mut self.hosts[i];
+            host.wt_stable_seq += 1;
+            let mut stable_payload = payload;
+            stable_payload.unacked = host.acks.unacked();
+            let ckpt = stable_payload
+                .into_checkpoint(host.wt_stable_seq, "stable-type2")
+                .expect("payload encodes");
+            host.stable.begin_write(ckpt).expect("no concurrent WT write");
+            host.stable.commit_write().expect("just begun");
+            self.metrics.stable_commits += 1;
+            self.sim
+                .record(self.host_actors[i], "ckpt.stable", "write-through type-2");
+        }
+    }
+
+    fn apply_tb_actions(&mut self, i: usize, actions: Vec<TbAction>, now: SimTime) {
+        for action in actions {
+            match action {
+                TbAction::BeginStableWrite {
+                    contents,
+                    expected_dirty,
+                } => self.begin_stable_write(i, contents, expected_dirty, now),
+                TbAction::StartBlocking { duration } => {
+                    let host = &mut self.hosts[i];
+                    host.blocking_started_at = Some(now);
+                    self.metrics.blocking_periods += 1;
+                    self.metrics.blocking_total += duration;
+                    let epoch = host.tb_epoch;
+                    // Blocking is defined on the local clock; translate its
+                    // end into true time through this node's clock.
+                    let node = host.node;
+                    let end_local = self.clocks.read(node, now) + duration;
+                    let end_true = self.clocks.when_local(node, end_local).max(now);
+                    self.sim
+                        .schedule_at(end_true, self.host_actors[i], Ev::BlockingOver { epoch });
+                    let engine_actions = self.hosts[i].engine.handle(MdcdEvent::BlockingStarted);
+                    self.apply_mdcd_actions(i, engine_actions, now);
+                    self.sim.record(
+                        self.host_actors[i],
+                        "tb.blocking",
+                        format!("for {duration}"),
+                    );
+                }
+                TbAction::ReplaceWithCurrentState => {
+                    let payload = self.hosts[i].current_payload(
+                        self.hosts[i].blocking_started_at.unwrap_or(now),
+                    );
+                    let host = &mut self.hosts[i];
+                    let seq = host.stable.in_progress().map_or(1, |c| c.seq());
+                    let ckpt = payload
+                        .into_checkpoint(seq, "stable-replaced")
+                        .expect("payload encodes");
+                    host.stable
+                        .replace_in_progress(ckpt)
+                        .expect("write in progress during blocking");
+                    self.metrics.stable_replacements += 1;
+                    self.sim.record(
+                        self.host_actors[i],
+                        "tb.replace",
+                        "dirty cleared in blocking: switch to current state",
+                    );
+                }
+                TbAction::CommitStableWrite { ndc } => {
+                    let host = &mut self.hosts[i];
+                    host.blocking_started_at = None;
+                    host.stable.commit_write().expect("write in progress");
+                    self.metrics.stable_commits += 1;
+                    self.sim.record(
+                        self.host_actors[i],
+                        "ckpt.stable",
+                        format!("committed {ndc}"),
+                    );
+                    let mut engine_actions = self.hosts[i]
+                        .engine
+                        .handle(MdcdEvent::StableCheckpointCommitted(ndc));
+                    engine_actions.extend(self.hosts[i].engine.handle(MdcdEvent::BlockingEnded));
+                    self.apply_mdcd_actions(i, engine_actions, now);
+                }
+                TbAction::ScheduleTimer { at } => self.schedule_tb_timer(i, at, now),
+                TbAction::RequestResync => {
+                    if !self.resync_pending {
+                        self.resync_pending = true;
+                        // One message round-trip of latency for the
+                        // resynchronization protocol.
+                        self.sim.schedule_in(
+                            self.cfg.tmax,
+                            self.system_actor,
+                            Ev::Resync,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_tb_timer(&mut self, i: usize, at_local: LocalTime, now: SimTime) {
+        let node = self.hosts[i].node;
+        let fire = self.clocks.when_local(node, at_local).max(now);
+        let epoch = self.hosts[i].tb_epoch;
+        let id = self.sim.schedule_at(
+            fire,
+            self.host_actors[i],
+            Ev::TbTimer {
+                deadline: at_local,
+                epoch,
+            },
+        );
+        self.hosts[i].timer_event = Some(id);
+    }
+
+    fn begin_stable_write(
+        &mut self,
+        i: usize,
+        contents: ContentsChoice,
+        expected_dirty: bool,
+        now: SimTime,
+    ) {
+        let payload = match contents {
+            ContentsChoice::CurrentState => self.hosts[i].current_payload(now),
+            ContentsChoice::VolatileCopy => {
+                match self.hosts[i].volatile.latest() {
+                    Some(vol) => {
+                        let mut p = CheckpointPayload::from_checkpoint(vol)
+                            .expect("volatile checkpoints decode");
+                        // The recoverability rule: save currently
+                        // unacknowledged messages — but only those the copied
+                        // state reflects as sent, so recovery cannot re-send
+                        // messages the restored state never produced.
+                        let horizon = p.engine.msg_sn;
+                        p.unacked = self.hosts[i]
+                            .acks
+                            .unacked()
+                            .into_iter()
+                            .filter(|e| e.id.seq <= horizon)
+                            .collect();
+                        // Receipts delivered after the copied state: the
+                        // senders may already hold their acknowledgments, so
+                        // recovery must be able to replay them (driver-
+                        // filtered against the restored cut).
+                        p.replay = self.hosts[i].recv_log.clone();
+                        p
+                    }
+                    None => {
+                        // Defensive: a dirty bit without a volatile
+                        // checkpoint (cannot happen through the engines).
+                        self.metrics.dirty_fallbacks += 1;
+                        self.hosts[i].current_payload(now)
+                    }
+                }
+            }
+        };
+        let host = &mut self.hosts[i];
+        let seq = host.tb.as_ref().map_or(0, |tb| tb.ndc().0) + 1;
+        let label = match contents {
+            ContentsChoice::CurrentState => "stable-current",
+            ContentsChoice::VolatileCopy => "stable-volatile-copy",
+        };
+        let ckpt = payload.into_checkpoint(seq, label).expect("payload encodes");
+        host.stable.begin_write(ckpt).expect("no overlapping TB writes");
+        self.sim.record(
+            self.host_actors[i],
+            "tb.write",
+            format!("{label} expected_dirty={}", u8::from(expected_dirty)),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Software (MDCD) recovery
+    // ------------------------------------------------------------------
+
+    fn software_recovery(&mut self, now: SimTime) {
+        if self.software_recovered {
+            return;
+        }
+        self.software_recovered = true;
+        self.metrics.software_recoveries += 1;
+        self.sim.record(
+            self.system_actor,
+            "recovery.software",
+            "AT failure: shadow takeover",
+        );
+        // P1act is dead; its in-flight messages are discarded on delivery.
+        self.hosts[0].up = false;
+        self.hosts[0].dead = true;
+
+        // Local decisions + rollbacks for shadow and peer.
+        for i in [1usize, 2] {
+            let decision = self.hosts[i]
+                .engine
+                .recovery_decision()
+                .expect("shadow/peer decide locally");
+            let distance = match decision {
+                RecoveryDecision::RollBack => self.rollback_to_volatile(i, now),
+                RecoveryDecision::RollForward => 0.0,
+            };
+            self.metrics.rollbacks.push(RollbackRecord {
+                process: self.hosts[i].pid,
+                cause: RollbackCause::Software,
+                decision,
+                distance_secs: distance,
+                at: now,
+            });
+            self.sim.record(
+                self.host_actors[i],
+                "recovery.decision",
+                format!("{decision} ({distance:.3}s undone)"),
+            );
+        }
+
+        // Shadow takes over and re-sends unvalidated suppressed messages.
+        let plan = self.hosts[1].engine.take_over();
+        if let Some(peer) = self.hosts[2].engine.as_peer_mut() {
+            peer.retarget_active(P1SDW);
+        }
+        let resend = plan.resend;
+        self.metrics.messages_resent += resend.len() as u64;
+        for env in resend {
+            self.send_envelope(1, env, now);
+        }
+
+        // Check the recovered (volatile) cut.
+        let states: Vec<RestoredState> = [1usize, 2]
+            .iter()
+            .map(|&i| RestoredState {
+                pid: self.hosts[i].pid,
+                role: self.hosts[i].engine.role(),
+                synthetic_history: self.hosts[i].synthetic_history,
+                payload: self.hosts[i].current_payload(now),
+            })
+            .collect();
+        let checker = GlobalChecker::new(P1ACT);
+        let v = checker.check(&states, self.global_validated);
+        self.verdicts.merge(v);
+    }
+
+    /// Restores host `i` from its most recent volatile checkpoint; returns
+    /// the rollback distance in seconds.
+    fn rollback_to_volatile(&mut self, i: usize, now: SimTime) -> f64 {
+        let Some(ckpt) = self.hosts[i].volatile.latest_cloned() else {
+            self.verdicts.violations.push(Violation {
+                property: "validity-self",
+                detail: format!(
+                    "{} must roll back but has no volatile checkpoint",
+                    self.hosts[i].pid
+                ),
+            });
+            return 0.0;
+        };
+        let payload = CheckpointPayload::from_checkpoint(&ckpt).expect("volatile decodes");
+        let distance = now
+            .saturating_duration_since(payload.state_time())
+            .as_secs_f64();
+        let host = &mut self.hosts[i];
+        host.app.restore(&payload.app);
+        host.engine.restore(&payload.engine);
+        host.sent_log = payload.sent.clone();
+        host.recv_log.clear();
+        // Messages beyond the restored horizon were never sent, per the
+        // restored state; stop tracking their acknowledgements.
+        let horizon = payload.engine.msg_sn;
+        let kept: Vec<Envelope> = host
+            .acks
+            .unacked()
+            .into_iter()
+            .filter(|e| e.id.seq <= horizon)
+            .collect();
+        host.acks.restore(kept);
+        // If a TB blocking period is in progress, the restored engine must
+        // re-enter it (restore cleared the hold state).
+        if host.tb.as_ref().is_some_and(TbEngine::is_blocking) {
+            let actions = host.engine.handle(MdcdEvent::BlockingStarted);
+            debug_assert!(actions.is_empty());
+        }
+        distance
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware fault + global rollback recovery
+    // ------------------------------------------------------------------
+
+    fn on_hardware_crash(&mut self, _now: SimTime, node: usize) {
+        let Some(i) = self.hosts.iter().position(|h| h.node == node) else {
+            return;
+        };
+        if self.hosts[i].dead {
+            return; // crashing a dead node changes nothing
+        }
+        self.sim.record(
+            self.host_actors[i],
+            "fault.hardware",
+            format!("node {node} crashed"),
+        );
+        let host = &mut self.hosts[i];
+        host.up = false;
+        host.volatile.wipe();
+        if host.stable.is_writing() {
+            self.metrics.torn_writes += 1;
+        }
+        host.stable.crash();
+        self.crash_pending.push(i);
+        self.sim.schedule_in(
+            self.cfg.restart_delay,
+            self.system_actor,
+            Ev::HardwareRecover,
+        );
+    }
+
+    fn on_hardware_recover(&mut self, now: SimTime) {
+        if self.crash_pending.is_empty() {
+            return;
+        }
+        self.crash_pending.clear();
+        self.metrics.hardware_recoveries += 1;
+        self.sim.record(
+            self.system_actor,
+            "recovery.hardware",
+            "global rollback to stable checkpoints",
+        );
+        // All pre-crash traffic and control events are void.
+        self.net_inc += 1;
+
+        // Pick the recovery line. Under a TB scheme the stable checkpoints
+        // are epoch-numbered and a crash can tear one process's in-flight
+        // write while its peers commit theirs, so the system rolls back to
+        // the newest epoch committed by *every* live process. Write-through
+        // checkpoints are taken at each process's own validations (no
+        // epochs); each process restores its newest record, whose mutual
+        // consistency FIFO delivery of the `passed_AT` broadcast provides.
+        let recovery_epoch: Option<u64> = if self.cfg.scheme.tb_variant().is_some() {
+            self.hosts
+                .iter()
+                .filter(|h| !h.dead)
+                .map(|h| h.stable.latest().map_or(0, |c| c.seq()))
+                .min()
+        } else {
+            None
+        };
+
+        // Restore every live process from stable storage and gather the
+        // restored cut for checking.
+        let mut restored_payloads: Vec<(usize, CheckpointPayload)> = Vec::new();
+        let mut resend: Vec<(usize, Envelope)> = Vec::new();
+        for i in 0..3 {
+            if self.hosts[i].dead {
+                continue;
+            }
+            self.hosts[i].up = true;
+            self.hosts[i].tb_epoch += 1;
+            self.hosts[i].blocking_started_at = None;
+            // A live host may have been mid-blocking with a stable write in
+            // flight; the global rollback supersedes that establishment.
+            self.hosts[i].stable.abort_write();
+            let chosen = match recovery_epoch {
+                Some(epoch) => self.hosts[i]
+                    .stable
+                    .latest_at_or_before(epoch)
+                    .cloned(),
+                None => self.hosts[i].stable.latest_cloned(),
+            };
+            let restored_seq = chosen.as_ref().map_or(0, |c| c.seq());
+            let payload = match chosen {
+                Some(ckpt) => {
+                    CheckpointPayload::from_checkpoint(&ckpt).expect("stable decodes")
+                }
+                None => {
+                    // No stable checkpoint yet: restart from the initial
+                    // state (all progress lost).
+                    let fresh = CounterApp::new(self.cfg.seed ^ 0xA5A5);
+                    CheckpointPayload::new(
+                        fresh.snapshot(),
+                        synergy_mdcd::EngineSnapshot::default(),
+                        Vec::new(),
+                        Vec::new(),
+                        SimTime::ZERO,
+                    )
+                }
+            };
+            let distance = now
+                .saturating_duration_since(payload.state_time())
+                .as_secs_f64();
+            self.metrics.rollbacks.push(RollbackRecord {
+                process: self.hosts[i].pid,
+                cause: RollbackCause::Hardware,
+                decision: RecoveryDecision::RollBack,
+                distance_secs: distance,
+                at: now,
+            });
+            let host = &mut self.hosts[i];
+            host.app.restore(&payload.app);
+            host.engine.restore(&payload.engine);
+            host.sent_log = payload.sent.clone();
+            host.acks.restore(payload.unacked.clone());
+            // Pre-crash volatile checkpoints and receive logs belong to the
+            // abandoned timeline.
+            host.volatile.wipe();
+            host.recv_log.clear();
+            for env in &payload.unacked {
+                resend.push((i, env.clone()));
+            }
+            restored_payloads.push((i, payload.clone()));
+            // Align the engine's Ndc with the recovered stable epoch and
+            // restart the TB timers.
+            if self.hosts[i].tb.is_some() {
+                let ndc = synergy_net::CkptSeqNo(restored_seq);
+                let e = self.hosts[i]
+                    .engine
+                    .handle(MdcdEvent::StableCheckpointCommitted(ndc));
+                self.apply_mdcd_actions(i, e, now);
+                let node = self.hosts[i].node;
+                let now_local = self.clocks.read(node, now);
+                let actions = self.hosts[i]
+                    .tb
+                    .as_mut()
+                    .expect("checked")
+                    .handle(TbEvent::Restarted {
+                        now_local,
+                        ndc,
+                    });
+                self.apply_tb_actions(i, actions, now);
+            }
+            self.sim.record(
+                self.host_actors[i],
+                "recovery.restore",
+                format!("stable state from {}", payload.state_time()),
+            );
+        }
+
+        // Replay receive logs attached to volatile-copy checkpoints: a
+        // message delivered after the copied state but acknowledged before
+        // the sender's write is reflected as sent by the sender's restored
+        // state yet absent from both the receiver's state and the unacked
+        // set. The receiver saved it in its receive log; replay exactly
+        // those entries the restored cut reflects as sent (and, for the
+        // active process's output, only validated ones — anything else
+        // would re-contaminate a restored-clean state).
+        let sent_reflected = |payloads: &[(usize, CheckpointPayload)], env: &Envelope| {
+            payloads.iter().any(|(j, p)| {
+                self.hosts[*j].pid == env.from()
+                    && p.sent
+                        .iter()
+                        .any(|r| Endpoint::Process(r.to) == env.to && r.seq == env.id.seq)
+            })
+        };
+        let mut replays: Vec<(usize, Envelope)> = Vec::new();
+        for (i, payload) in &restored_payloads {
+            for env in &payload.replay {
+                if !sent_reflected(&restored_payloads, env) {
+                    continue;
+                }
+                if env.from() == P1ACT && env.id.seq > self.global_validated {
+                    continue;
+                }
+                replays.push((*i, env.clone()));
+            }
+        }
+        for (i, env) in replays {
+            if let MessageBody::Application { payload, .. } = &env.body {
+                self.hosts[i].app.on_message(env.from(), env.id.seq, payload);
+                self.metrics.messages_replayed += 1;
+                self.sim
+                    .record(self.host_actors[i], "msg.replay", env.to_string());
+            }
+        }
+
+        // Check the restored cut (post-replay) before any realignment.
+        let restored: Vec<RestoredState> = restored_payloads
+            .iter()
+            .map(|(i, payload)| {
+                let mut p = payload.clone();
+                p.app = self.hosts[*i].app.snapshot();
+                RestoredState {
+                    pid: self.hosts[*i].pid,
+                    role: self.hosts[*i].engine.role(),
+                    synthetic_history: self.hosts[*i].synthetic_history,
+                    payload: p,
+                }
+            })
+            .collect();
+        let checker = GlobalChecker::new(P1ACT);
+        let v = checker.check(&restored, self.global_validated);
+        self.verdicts.merge(v);
+
+        // Re-send saved unacknowledged messages (the TB recoverability
+        // rule).
+        self.metrics.messages_resent += resend.len() as u64;
+        for (i, env) in resend {
+            self.route_only(env.clone(), now);
+            self.sim
+                .record(self.host_actors[i], "msg.resend", env.to_string());
+        }
+
+        // Guarded operation restarts from a common state: the shadow is
+        // refreshed from the restored active replica (DESIGN.md §2 — the
+        // GSU middleware re-initializes both versions from one state when
+        // (re)entering guarded operation).
+        if !self.hosts[0].dead && !self.hosts[1].dead {
+            let act_state = self.hosts[0].app.snapshot();
+            let act_sn = self.hosts[0].engine.snapshot().msg_sn;
+            let sdw = &mut self.hosts[1];
+            sdw.app.restore(&act_state);
+            let mut snap = sdw.engine.snapshot();
+            snap.msg_sn = act_sn;
+            snap.vr_act = act_sn;
+            snap.dirty = false;
+            snap.log.clear();
+            sdw.engine.restore(&snap);
+            sdw.synthetic_history = true;
+            self.sim.record(
+                self.host_actors[1],
+                "recovery.refresh",
+                "shadow re-aligned to restored active state",
+            );
+        }
+        // A dead active means the shadow must remain (or become) promoted.
+        if self.hosts[0].dead && self.hosts[1].engine.role() != ProcessRole::Active {
+            let plan = self.hosts[1].engine.take_over();
+            if let Some(peer) = self.hosts[2].engine.as_peer_mut() {
+                peer.retarget_active(P1SDW);
+            }
+            self.metrics.messages_resent += plan.resend.len() as u64;
+            for env in plan.resend {
+                self.send_envelope(1, env, now);
+            }
+        }
+    }
+
+    fn on_resync(&mut self, now: SimTime) {
+        self.resync_pending = false;
+        self.metrics.resyncs += 1;
+        self.clocks.resync_all(now);
+        self.sim.record(self.system_actor, "clocks.resync", "fleet resynchronized");
+        // Timer deadlines are local-clock values; after slewing, their true
+        // fire times change — reschedule every pending timer.
+        for i in 0..3 {
+            let node = self.hosts[i].node;
+            let now_local = self.clocks.read(node, now);
+            if let Some(tb) = self.hosts[i].tb.as_mut() {
+                let actions = tb.handle(TbEvent::ResyncCompleted { now_local });
+                self.apply_tb_actions(i, actions, now);
+                let deadline = self.hosts[i].tb.as_ref().expect("checked").next_deadline();
+                if let Some(old) = self.hosts[i].timer_event.take() {
+                    self.sim.cancel(old);
+                }
+                if self.hosts[i].up && !self.hosts[i].dead {
+                    self.schedule_tb_timer(i, deadline, now);
+                }
+            }
+        }
+    }
+}
+
+/// A configured end-to-end run.
+pub struct Mission {
+    system: System,
+}
+
+/// Everything a finished mission reports.
+#[derive(Debug)]
+pub struct MissionOutcome {
+    /// Aggregated counters and rollback observations.
+    pub metrics: RunMetrics,
+    /// Global-state checker verdicts.
+    pub verdicts: Verdicts,
+    /// External messages that reached the device.
+    pub device_messages: usize,
+    /// Whether the shadow took over during the mission.
+    pub shadow_promoted: bool,
+    /// The recorded trace (empty if tracing was disabled).
+    pub trace: Trace,
+}
+
+impl Mission {
+    /// Prepares a mission.
+    pub fn new(config: SystemConfig) -> Self {
+        Mission {
+            system: System::new(config),
+        }
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> MissionOutcome {
+        self.system.run();
+        let System {
+            metrics,
+            verdicts,
+            device_log,
+            sim,
+            hosts,
+            ..
+        } = self.system;
+        MissionOutcome {
+            metrics,
+            verdicts,
+            device_messages: device_log.len(),
+            shadow_promoted: hosts[1].engine.role() == ProcessRole::Active
+                || hosts[1].dead,
+            trace: sim.trace_ref().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Scheme, SystemConfig};
+
+    fn base() -> crate::config::SystemConfigBuilder {
+        SystemConfig::builder()
+            .seed(7)
+            .duration_secs(120.0)
+            .internal_rate_per_min(60.0)
+            .external_rate_per_min(6.0)
+    }
+
+    #[test]
+    fn fault_free_coordinated_run_is_clean() {
+        let outcome = Mission::new(base().scheme(Scheme::Coordinated).build()).run();
+        assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        assert!(outcome.metrics.stable_commits > 0, "TB must checkpoint");
+        assert!(outcome.metrics.at_runs > 0, "external messages must be tested");
+        assert_eq!(outcome.metrics.at_failures, 0);
+        assert!(outcome.device_messages > 0);
+        assert!(!outcome.shadow_promoted);
+    }
+
+    #[test]
+    fn software_fault_triggers_takeover_and_recovers() {
+        let outcome = Mission::new(
+            base()
+                .scheme(Scheme::Coordinated)
+                .software_fault_at_secs(40.0)
+                .build(),
+        )
+        .run();
+        assert!(outcome.shadow_promoted, "shadow must take over");
+        assert_eq!(outcome.metrics.software_recoveries, 1);
+        assert!(outcome.metrics.at_failures >= 1);
+        assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        assert!(
+            outcome.device_messages > 0,
+            "external service continues after takeover"
+        );
+    }
+
+    #[test]
+    fn hardware_fault_recovers_consistently_under_coordination() {
+        let outcome = Mission::new(
+            base()
+                .scheme(Scheme::Coordinated)
+                .hardware_fault_at_secs(70.0)
+                .build(),
+        )
+        .run();
+        assert_eq!(outcome.metrics.hardware_recoveries, 1);
+        assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        let distances = outcome.metrics.hardware_rollback_distances();
+        assert_eq!(distances.len(), 3, "all three processes roll back");
+        for d in distances {
+            assert!(d < 120.0, "rollback bounded by mission length");
+        }
+    }
+
+    #[test]
+    fn naive_combination_violates_validity() {
+        // Find a seed where the fault lands while P2 is dirty — with a
+        // 60/min internal rate P2 is dirty most of the time.
+        let mut violated = false;
+        for seed in 0..10 {
+            let outcome = Mission::new(
+                base()
+                    .seed(seed)
+                    .scheme(Scheme::Naive)
+                    .hardware_fault_at_secs(71.0)
+                    .build(),
+            )
+            .run();
+            if !outcome.verdicts.of("validity-self").is_empty() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(
+            violated,
+            "naive combination must exhibit the Fig. 4(a) validity loss"
+        );
+    }
+
+    #[test]
+    fn write_through_recovers_but_more_expensively() {
+        let outcome = Mission::new(
+            base()
+                .scheme(Scheme::WriteThrough)
+                .hardware_fault_at_secs(70.0)
+                .build(),
+        )
+        .run();
+        assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        assert!(outcome.metrics.stable_commits > 0);
+        assert_eq!(outcome.metrics.hardware_recoveries, 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let o = Mission::new(
+                base()
+                    .seed(seed)
+                    .scheme(Scheme::Coordinated)
+                    .hardware_fault_at_secs(50.0)
+                    .software_fault_at_secs(90.0)
+                    .build(),
+            )
+            .run();
+            (
+                o.metrics.messages_sent,
+                o.metrics.stable_commits,
+                o.device_messages,
+                o.metrics.hardware_rollback_distances(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn coordinated_beats_write_through_on_rollback_distance() {
+        // The headline comparison (Fig. 7), run below the model's crossover
+        // interval Δ < 2/(λi+λv): internal messages 60/h, validations
+        // ~2+/min, Δ = 2s.
+        let mean = |scheme| {
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for seed in 0..8 {
+                let o = Mission::new(
+                    SystemConfig::builder()
+                        .seed(seed)
+                        .scheme(scheme)
+                        .duration_secs(400.0)
+                        .internal_rate_per_min(1.0)
+                        .external_rate_per_min(2.0)
+                        .tb_interval_secs(2.0)
+                        .hardware_fault_at_secs(310.0)
+                        .trace(false)
+                        .build(),
+                )
+                .run();
+                for d in o.metrics.hardware_rollback_distances() {
+                    total += d;
+                    n += 1;
+                }
+            }
+            total / f64::from(n)
+        };
+        let co = mean(Scheme::Coordinated);
+        let wt = mean(Scheme::WriteThrough);
+        assert!(
+            co < wt,
+            "coordinated ({co:.1}s) must beat write-through ({wt:.1}s)"
+        );
+    }
+
+    #[test]
+    fn software_then_hardware_fault_sequence_survives() {
+        let outcome = Mission::new(
+            base()
+                .scheme(Scheme::Coordinated)
+                .software_fault_at_secs(30.0)
+                .hardware_fault_at_secs(80.0)
+                .build(),
+        )
+        .run();
+        assert_eq!(outcome.metrics.software_recoveries, 1);
+        assert_eq!(outcome.metrics.hardware_recoveries, 1);
+        assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    }
+
+    #[test]
+    fn crash_of_each_node_is_survivable() {
+        for node in 0..3usize {
+            let outcome = Mission::new(
+                base()
+                    .scheme(Scheme::Coordinated)
+                    .hardware_fault(crate::faults::HardwareFault {
+                        at: SimTime::from_secs_f64(60.0),
+                        node,
+                    })
+                    .build(),
+            )
+            .run();
+            assert!(
+                outcome.verdicts.all_hold(),
+                "node {node}: {:?}",
+                outcome.verdicts.violations
+            );
+            assert_eq!(outcome.metrics.hardware_recoveries, 1, "node {node}");
+        }
+    }
+}

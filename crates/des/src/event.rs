@@ -1,0 +1,62 @@
+//! Identifiers and the record produced when an event fires.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Identifies an actor registered with a [`crate::Simulator`].
+///
+/// Actors are the addressable endpoints of the simulation: protocol
+/// processes, network links, storage devices, fault injectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// The raw index of this actor (stable for the life of the simulator).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Identifies a scheduled event; returned by the scheduling methods and
+/// accepted by [`crate::Simulator::cancel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// A fired event, as returned by [`crate::Simulator::step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// The virtual instant at which the event fired; the simulator clock has
+    /// been advanced to this instant.
+    pub time: SimTime,
+    /// The actor the event was addressed to.
+    pub actor: ActorId,
+    /// The identifier under which the event was scheduled.
+    pub id: EventId,
+    /// The payload supplied at scheduling time.
+    pub event: E,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(ActorId(3).to_string(), "actor#3");
+        assert_eq!(EventId(9).to_string(), "event#9");
+        assert_eq!(ActorId(3).index(), 3);
+    }
+}

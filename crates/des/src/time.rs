@@ -1,0 +1,264 @@
+//! Virtual time types.
+//!
+//! All simulation time is kept in integer nanoseconds so that arithmetic is
+//! exact and schedules replay identically across runs and platforms.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulated (true/global) time axis, in
+/// nanoseconds since the start of the simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs an instant from nanoseconds since the origin.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs an instant from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier is later than self"),
+        )
+    }
+
+    /// The span from `other` to `self`, or [`SimDuration::ZERO`] when `other`
+    /// is later.
+    pub fn saturating_duration_since(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Constructs a span from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Constructs a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Constructs a span from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Subtraction clamping at zero.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the span by a non-negative float, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+        let back = t - SimDuration::from_millis(500);
+        assert_eq!(back, SimTime::from_nanos(1_000_000_000));
+        assert_eq!(t - back, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(SimTime::from_secs_f64(2.0).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(50);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), SimDuration::from_nanos(40));
+        assert_eq!(
+            SimDuration::from_nanos(5).saturating_sub(SimDuration::from_nanos(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_div() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_when_reversed() {
+        let _ = SimTime::from_nanos(1).duration_since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs_f64(1.25).to_string(), "1.250000s");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "0.003000s");
+    }
+}

@@ -1,0 +1,76 @@
+//! Outputs emitted by the MDCD engines.
+
+use synergy_net::Envelope;
+
+use crate::snapshot::EngineSnapshot;
+use crate::types::CheckpointKind;
+
+/// One instruction from an engine to its hosting driver.
+///
+/// Order matters: the driver must execute actions in the order they appear
+/// in the returned vector. In particular a
+/// [`TakeCheckpoint`](Action::TakeCheckpoint) preceding a
+/// [`DeliverToApp`](Action::DeliverToApp) is the paper's "checkpoint
+/// *immediately before* the state becomes potentially contaminated".
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Hand `envelope` to the transport.
+    Send(Envelope),
+    /// Snapshot the application state *now*, together with the provided
+    /// engine snapshot, into volatile storage.
+    TakeCheckpoint {
+        /// Why the checkpoint is taken.
+        kind: CheckpointKind,
+        /// The engine's control state as of this instant (captured by the
+        /// engine itself so later mutations in the same event cannot leak
+        /// into the snapshot).
+        engine: EngineSnapshot,
+    },
+    /// Pass `envelope` to the hosted application (it may mutate app state).
+    DeliverToApp(Envelope),
+    /// An acceptance test was executed (overhead accounting).
+    AtPerformed {
+        /// The verdict.
+        pass: bool,
+    },
+    /// An acceptance test failed: the driver must initiate system-wide
+    /// software error recovery (`error_recovery(P1sdw, P2)`).
+    SoftwareErrorDetected,
+}
+
+impl Action {
+    /// Whether this action sends a message.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Action::Send(_))
+    }
+
+    /// Whether this action establishes a checkpoint.
+    pub fn is_checkpoint(&self) -> bool {
+        matches!(self, Action::TakeCheckpoint { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_net::{MessageBody, MsgId, MsgSeqNo, ProcessId};
+
+    #[test]
+    fn predicates() {
+        let send = Action::Send(Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(0),
+            },
+            ProcessId(2),
+            MessageBody::Application {
+                payload: vec![],
+                dirty: true,
+            },
+        ));
+        assert!(send.is_send());
+        assert!(!send.is_checkpoint());
+        let at = Action::AtPerformed { pass: true };
+        assert!(!at.is_send());
+    }
+}

@@ -1,0 +1,69 @@
+//! Inputs consumed by the MDCD engines.
+
+use synergy_net::{CkptSeqNo, Endpoint, Envelope};
+
+/// An application-level request to send one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutboundMessage {
+    /// Destination endpoint (a process for internal messages, a device for
+    /// external ones).
+    pub to: Endpoint,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+    /// Whether this is an external message (subject to acceptance testing).
+    pub external: bool,
+    /// The acceptance-test verdict *if* the engine decides to run the test.
+    /// The hosting driver evaluates the application's acceptance test ahead
+    /// of time; the engine consults the verdict only on the algorithm paths
+    /// that call `AT(m)` and reports actual executions via
+    /// [`Action::AtPerformed`](crate::Action::AtPerformed).
+    pub at_pass: bool,
+}
+
+/// One input to an MDCD engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The hosted application produced an outgoing message
+    /// (`outgoing_message_m_ready` in Appendix A).
+    AppSend(OutboundMessage),
+    /// The transport delivered an envelope
+    /// (`incoming_message_queue_nonempty` in Appendix A).
+    Deliver(Envelope),
+    /// The adapted TB protocol entered its blocking period on this node:
+    /// hold application messages, keep monitoring `passed_AT`.
+    BlockingStarted,
+    /// The blocking period ended: release held traffic.
+    BlockingEnded,
+    /// The adapted TB protocol committed a stable checkpoint; the local
+    /// `Ndc` becomes `seq`.
+    StableCheckpointCommitted(CkptSeqNo),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_net::{DeviceId, ProcessId};
+
+    #[test]
+    fn outbound_message_construction() {
+        let m = OutboundMessage {
+            to: Endpoint::Device(DeviceId(0)),
+            payload: vec![1, 2, 3],
+            external: true,
+            at_pass: true,
+        };
+        assert!(m.external);
+        assert_eq!(m.payload.len(), 3);
+    }
+
+    #[test]
+    fn event_variants_are_distinguishable() {
+        let a = Event::BlockingStarted;
+        let b = Event::BlockingEnded;
+        assert_ne!(a, b);
+        let c = Event::StableCheckpointCommitted(CkptSeqNo(1));
+        let d = Event::StableCheckpointCommitted(CkptSeqNo(2));
+        assert_ne!(c, d);
+        let _ = Endpoint::Process(ProcessId(1)); // vocabulary sanity
+    }
+}

@@ -1,0 +1,480 @@
+//! Generalized message-driven confidence-driven error containment for
+//! arbitrary process topologies.
+//!
+//! The paper retains a three-process architecture "for simplicity and
+//! clarity" and cites its companion work (reference [5], unpublished at the
+//! time) for the removal of that restriction. This module is our own
+//! generalization in that direction, preserving the protocol's defining
+//! ideas and extending the bookkeeping to many components and many
+//! low-confidence sources:
+//!
+//! * **taint watermarks** instead of one dirty bit — each process tracks,
+//!   per low-confidence *source*, the highest message sequence number its
+//!   state (transitively) reflects, and every outgoing message piggybacks
+//!   that map (generalizing the piggybacked dirty bit);
+//! * **per-source validation horizons** — a broadcast `passed_AT(s, n)`
+//!   raises the validated watermark of source `s`; the *dirty set* is
+//!   derived, not stored: `{s : seen[s] > validated[s]}`, which makes
+//!   dirty-bit truthfulness hold by construction;
+//! * **a bounded checkpoint stack** instead of a single checkpoint — a
+//!   snapshot is pushed whenever a delivery is about to expose the state to
+//!   a *new* unvalidated source, so recovery from a fault in source `s`
+//!   can roll back to the most recent state not reflecting `s`, leaving
+//!   exposure to other sources intact (confidence-adaptive recovery per
+//!   source).
+//!
+//! The module is topology-agnostic and sans-io like the rest of the crate;
+//! it is exercised by its own multi-component harness tests. The
+//! three-process engines remain the faithful reproduction of the paper; use
+//! this layer when exploring beyond it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use synergy_net::ProcessId;
+
+/// Identifies a low-confidence component (a contamination source).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SourceId(pub u32);
+
+impl core::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Per-source high-watermarks carried by a message: "this message's causal
+/// past includes source `s` up to sequence number `n`".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Taint {
+    marks: BTreeMap<SourceId, u64>,
+}
+
+impl Taint {
+    /// The empty (fully trusted) taint.
+    pub fn clean() -> Self {
+        Taint::default()
+    }
+
+    /// A taint naming a single source watermark.
+    pub fn of(source: SourceId, watermark: u64) -> Self {
+        let mut marks = BTreeMap::new();
+        marks.insert(source, watermark);
+        Taint { marks }
+    }
+
+    /// Merges another taint into this one (pointwise max).
+    pub fn absorb(&mut self, other: &Taint) {
+        for (s, w) in &other.marks {
+            let e = self.marks.entry(*s).or_insert(0);
+            *e = (*e).max(*w);
+        }
+    }
+
+    /// The watermark recorded for `source` (0 when untouched).
+    pub fn watermark(&self, source: SourceId) -> u64 {
+        self.marks.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the recorded `(source, watermark)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceId, u64)> + '_ {
+        self.marks.iter().map(|(s, w)| (*s, *w))
+    }
+
+    /// Whether no source is recorded.
+    pub fn is_clean(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+/// A checkpoint pushed on the bounded stack.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneralCheckpoint {
+    /// Opaque application snapshot provided by the host at push time.
+    pub app: Vec<u8>,
+    /// The taint watermarks the snapshot reflects.
+    pub seen: Taint,
+    /// Monotone checkpoint counter.
+    pub seq: u64,
+}
+
+/// What the host must do next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeneralAction {
+    /// Push a checkpoint of the current application state *before*
+    /// delivering the message that triggered it.
+    TakeCheckpoint,
+    /// Deliver the message to the application.
+    Deliver,
+}
+
+/// A per-source recovery decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeneralRecovery {
+    /// Current state does not reflect unvalidated data from the source.
+    RollForward,
+    /// Restore this checkpoint (the newest not reflecting the source beyond
+    /// the validated horizon).
+    RollBackTo(GeneralCheckpoint),
+    /// No retained checkpoint predates the exposure: restart from the
+    /// initial state (the stack depth was too small).
+    Unrecoverable,
+}
+
+/// Generalized error-containment state for one process.
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_mdcd::general::{GeneralProcess, SourceId, Taint};
+/// use synergy_net::ProcessId;
+///
+/// let mut p = GeneralProcess::new(ProcessId(7), 4);
+/// let s = SourceId(1);
+/// // A message tainted by unvalidated source S1 arrives: checkpoint first.
+/// let actions = p.on_receive(&Taint::of(s, 3), || vec![0xAA]);
+/// assert_eq!(actions.len(), 2, "checkpoint + deliver");
+/// assert!(p.dirty_set().contains(&s));
+/// // S1's output up to sn3 passes an acceptance test somewhere:
+/// p.on_validation(s, 3);
+/// assert!(p.dirty_set().is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct GeneralProcess {
+    id: ProcessId,
+    seen: Taint,
+    validated: BTreeMap<SourceId, u64>,
+    ckpts: VecDeque<GeneralCheckpoint>,
+    depth: usize,
+    ckpt_seq: u64,
+    msg_sn: u64,
+}
+
+impl GeneralProcess {
+    /// Creates a process retaining at most `depth` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(id: ProcessId, depth: usize) -> Self {
+        assert!(depth > 0, "checkpoint depth must be positive");
+        GeneralProcess {
+            id,
+            seen: Taint::clean(),
+            validated: BTreeMap::new(),
+            ckpts: VecDeque::new(),
+            depth,
+            ckpt_seq: 0,
+            msg_sn: 0,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The validated horizon of `source`.
+    pub fn validated(&self, source: SourceId) -> u64 {
+        self.validated.get(&source).copied().unwrap_or(0)
+    }
+
+    /// The derived dirty set: sources whose unvalidated data the state
+    /// reflects. Truthful by construction.
+    pub fn dirty_set(&self) -> Vec<SourceId> {
+        self.seen
+            .iter()
+            .filter(|(s, w)| *w > self.validated(*s))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Whether the state reflects any unvalidated data.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty_set().is_empty()
+    }
+
+    /// Number of retained checkpoints.
+    pub fn checkpoints(&self) -> usize {
+        self.ckpts.len()
+    }
+
+    /// Prepares an outgoing message: returns `(sequence, taint to
+    /// piggyback)`. A guarded active passes its own source so receivers see
+    /// its output as unvalidated data from that source.
+    pub fn on_send(&mut self, own_source: Option<SourceId>) -> (u64, Taint) {
+        self.msg_sn += 1;
+        let mut taint = self.seen.clone();
+        if let Some(s) = own_source {
+            taint.absorb(&Taint::of(s, self.msg_sn));
+        }
+        (self.msg_sn, taint)
+    }
+
+    /// Handles an incoming message's taint. `snapshot` is invoked exactly
+    /// when a checkpoint must be pushed (before delivery). Returns the
+    /// action sequence for the host ([`TakeCheckpoint`]? then [`Deliver`]).
+    ///
+    /// [`TakeCheckpoint`]: GeneralAction::TakeCheckpoint
+    /// [`Deliver`]: GeneralAction::Deliver
+    pub fn on_receive(
+        &mut self,
+        taint: &Taint,
+        snapshot: impl FnOnce() -> Vec<u8>,
+    ) -> Vec<GeneralAction> {
+        // Does the message expose the state to a source it is not already
+        // exposed to (beyond that source's validated horizon)?
+        let dirty_before = self.dirty_set();
+        let exposes_new = taint.iter().any(|(s, w)| {
+            w > self.validated(s)
+                && w > self.seen.watermark(s)
+                && !dirty_before.contains(&s)
+        });
+        let mut actions = Vec::new();
+        if exposes_new {
+            self.push_checkpoint(snapshot());
+            actions.push(GeneralAction::TakeCheckpoint);
+        }
+        self.seen.absorb(taint);
+        actions.push(GeneralAction::Deliver);
+        actions
+    }
+
+    fn push_checkpoint(&mut self, app: Vec<u8>) {
+        self.ckpt_seq += 1;
+        self.ckpts.push_back(GeneralCheckpoint {
+            app,
+            seen: self.seen.clone(),
+            seq: self.ckpt_seq,
+        });
+        while self.ckpts.len() > self.depth {
+            self.ckpts.pop_front();
+        }
+    }
+
+    /// Records a validation broadcast: source `s`'s output up to `sn` is
+    /// known correct. Obsolete checkpoints (older than every remaining
+    /// exposure) are reclaimed.
+    pub fn on_validation(&mut self, source: SourceId, sn: u64) {
+        let e = self.validated.entry(source).or_insert(0);
+        *e = (*e).max(sn);
+        // Reclaim checkpoints that no longer guard anything: a checkpoint
+        // is useful only while it is a rollback target for some source the
+        // state is still dirty with respect to.
+        let dirty = self.dirty_set();
+        if dirty.is_empty() {
+            self.ckpts.clear();
+        } else {
+            let validated = self.validated.clone();
+            self.ckpts.retain(|c| {
+                dirty.iter().any(|s| {
+                    c.seen.watermark(*s) <= validated.get(s).copied().unwrap_or(0)
+                })
+            });
+        }
+    }
+
+    /// The recovery decision when a software error is detected in `source`,
+    /// given the system-wide validated horizon for it (the local horizon is
+    /// a lower bound; pass the local one for a purely local decision).
+    pub fn recovery_plan(&self, source: SourceId, horizon: u64) -> GeneralRecovery {
+        if self.seen.watermark(source) <= horizon {
+            return GeneralRecovery::RollForward;
+        }
+        // Newest checkpoint whose exposure to the faulty source is within
+        // the validated horizon.
+        for c in self.ckpts.iter().rev() {
+            if c.seen.watermark(source) <= horizon {
+                return GeneralRecovery::RollBackTo(c.clone());
+            }
+        }
+        GeneralRecovery::Unrecoverable
+    }
+
+    /// Applies a rollback: restores watermarks to the checkpoint's and
+    /// drops newer checkpoints. Returns the application snapshot to restore.
+    pub fn apply_rollback(&mut self, ckpt: &GeneralCheckpoint) -> Vec<u8> {
+        self.seen = ckpt.seen.clone();
+        self.ckpts.retain(|c| c.seq <= ckpt.seq);
+        ckpt.app.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S1: SourceId = SourceId(1);
+    const S2: SourceId = SourceId(2);
+
+    fn proc(id: u32) -> GeneralProcess {
+        GeneralProcess::new(ProcessId(id), 8)
+    }
+
+    fn snap(n: u8) -> impl FnOnce() -> Vec<u8> {
+        move || vec![n]
+    }
+
+    #[test]
+    fn taint_absorb_is_pointwise_max() {
+        let mut t = Taint::of(S1, 3);
+        t.absorb(&Taint::of(S1, 7));
+        t.absorb(&Taint::of(S2, 2));
+        assert_eq!(t.watermark(S1), 7);
+        assert_eq!(t.watermark(S2), 2);
+        let mut u = Taint::of(S1, 9);
+        u.absorb(&t);
+        assert_eq!(u.watermark(S1), 9);
+    }
+
+    #[test]
+    fn first_exposure_takes_a_checkpoint_subsequent_do_not() {
+        let mut p = proc(10);
+        let a1 = p.on_receive(&Taint::of(S1, 1), snap(1));
+        assert_eq!(
+            a1,
+            vec![GeneralAction::TakeCheckpoint, GeneralAction::Deliver]
+        );
+        let a2 = p.on_receive(&Taint::of(S1, 2), snap(2));
+        assert_eq!(a2, vec![GeneralAction::Deliver], "already exposed to S1");
+        assert_eq!(p.checkpoints(), 1);
+    }
+
+    #[test]
+    fn independent_sources_checkpoint_independently() {
+        let mut p = proc(10);
+        p.on_receive(&Taint::of(S1, 1), snap(1));
+        let a = p.on_receive(&Taint::of(S2, 1), snap(2));
+        assert_eq!(
+            a,
+            vec![GeneralAction::TakeCheckpoint, GeneralAction::Deliver],
+            "new source S2 needs its own guard point"
+        );
+        assert_eq!(p.dirty_set(), vec![S1, S2]);
+    }
+
+    #[test]
+    fn validation_clears_the_derived_dirty_set() {
+        let mut p = proc(10);
+        p.on_receive(&Taint::of(S1, 4), snap(1));
+        assert!(p.is_dirty());
+        p.on_validation(S1, 3);
+        assert!(p.is_dirty(), "watermark 4 > horizon 3");
+        p.on_validation(S1, 4);
+        assert!(!p.is_dirty());
+    }
+
+    #[test]
+    fn recovery_rolls_back_past_faulty_source_only() {
+        let mut p = proc(10);
+        // Exposure order: S1 then S2.
+        p.on_receive(&Taint::of(S1, 1), snap(1));
+        p.on_receive(&Taint::of(S2, 1), snap(2));
+        // A fault in S2: the newest checkpoint free of S2 was pushed before
+        // S2's first message (snapshot 2 captures the pre-S2 state).
+        match p.recovery_plan(S2, 0) {
+            GeneralRecovery::RollBackTo(c) => {
+                assert_eq!(c.app, vec![2]);
+                assert_eq!(c.seen.watermark(S2), 0, "restored state is S2-free");
+                assert_eq!(c.seen.watermark(S1), 1, "S1 exposure is preserved");
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        // A fault in S1 must roll back further, to the pre-S1 snapshot.
+        match p.recovery_plan(S1, 0) {
+            GeneralRecovery::RollBackTo(c) => assert_eq!(c.app, vec![1]),
+            other => panic!("expected rollback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validated_exposure_rolls_forward() {
+        let mut p = proc(10);
+        p.on_receive(&Taint::of(S1, 5), snap(1));
+        assert_eq!(p.recovery_plan(S1, 5), GeneralRecovery::RollForward);
+        assert_eq!(p.recovery_plan(S1, 9), GeneralRecovery::RollForward);
+    }
+
+    #[test]
+    fn exhausted_stack_is_unrecoverable() {
+        let mut p = GeneralProcess::new(ProcessId(10), 1);
+        p.on_receive(&Taint::of(S1, 1), snap(1));
+        p.on_receive(&Taint::of(S2, 1), snap(2)); // evicts the S1 guard
+        assert_eq!(p.checkpoints(), 1);
+        assert_eq!(p.recovery_plan(S1, 0), GeneralRecovery::Unrecoverable);
+    }
+
+    #[test]
+    fn apply_rollback_restores_watermarks_and_prunes() {
+        let mut p = proc(10);
+        p.on_receive(&Taint::of(S1, 1), snap(1));
+        p.on_receive(&Taint::of(S2, 1), snap(2));
+        let ckpt = match p.recovery_plan(S2, 0) {
+            GeneralRecovery::RollBackTo(c) => c,
+            other => panic!("expected rollback, got {other:?}"),
+        };
+        let app = p.apply_rollback(&ckpt);
+        assert_eq!(app, vec![2]);
+        assert_eq!(p.seen.watermark(S2), 0);
+        assert_eq!(p.seen.watermark(S1), 1);
+    }
+
+    #[test]
+    fn taint_propagates_transitively_through_chains() {
+        // S1's active -> A -> B: B becomes dirty w.r.t. S1 without ever
+        // talking to the source.
+        let mut active = proc(1);
+        let mut a = proc(2);
+        let mut b = proc(3);
+        let (sn, taint) = active.on_send(Some(S1));
+        assert_eq!(sn, 1);
+        a.on_receive(&taint, snap(1));
+        let (_, taint_a) = a.on_send(None);
+        b.on_receive(&taint_a, snap(2));
+        assert_eq!(b.dirty_set(), vec![S1]);
+        // Validation anywhere clears the whole chain.
+        for p in [&mut a, &mut b] {
+            p.on_validation(S1, 1);
+            assert!(!p.is_dirty());
+        }
+    }
+
+    #[test]
+    fn multi_source_chain_recovers_per_source() {
+        // Two guarded components feeding one consumer: a fault in one must
+        // not cost the consumer its exposure to the other.
+        let mut act1 = proc(1);
+        let mut act2 = proc(2);
+        let mut consumer = proc(3);
+        let (_, t1) = act1.on_send(Some(S1));
+        consumer.on_receive(&t1, snap(1));
+        let (_, t2) = act2.on_send(Some(S2));
+        consumer.on_receive(&t2, snap(2));
+        let (_, t1b) = act1.on_send(Some(S1));
+        consumer.on_receive(&t1b, snap(3));
+        // S1 validated through sn1 only; its sn2 output is faulty.
+        consumer.on_validation(S1, 1);
+        match consumer.recovery_plan(S1, 1) {
+            GeneralRecovery::RollBackTo(c) => {
+                assert_eq!(c.seen.watermark(S1), 1, "keeps validated S1 exposure");
+                // The restored state predates the S2 message (stack rollback
+                // cannot skip over it); S2's message is re-deliverable from
+                // its sender's log, so nothing validated is lost. The guard
+                // point is the checkpoint pushed before S2's first exposure
+                // (snapshot 2) — S1 was already dirty when its faulty sn2
+                // arrived, so no newer guard exists.
+                assert_eq!(c.seen.watermark(S2), 0);
+                assert_eq!(c.app, vec![2]);
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        GeneralProcess::new(ProcessId(1), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Property tests over random event sequences fed to the MDCD engines.
+
+use proptest::prelude::*;
+use synergy_mdcd::{
+    Action, ActiveEngine, CheckpointKind, Event, MdcdConfig, OutboundMessage, PeerEngine,
+    ShadowEngine,
+};
+use synergy_net::{CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
+
+const ACT: ProcessId = ProcessId(1);
+const SDW: ProcessId = ProcessId(2);
+const PEER: ProcessId = ProcessId(3);
+
+/// Abstract stimulus applied to an engine under test.
+#[derive(Clone, Debug)]
+enum Stim {
+    SendInternal,
+    SendExternal { at_pass: bool },
+    RecvApp { dirty: bool },
+    RecvPassedAt { matching_ndc: bool },
+    BlockingStart,
+    BlockingEnd,
+    Commit,
+}
+
+fn stim_strategy() -> impl Strategy<Value = Stim> {
+    prop_oneof![
+        Just(Stim::SendInternal),
+        any::<bool>().prop_map(|at_pass| Stim::SendExternal { at_pass }),
+        any::<bool>().prop_map(|dirty| Stim::RecvApp { dirty }),
+        any::<bool>().prop_map(|matching_ndc| Stim::RecvPassedAt { matching_ndc }),
+        Just(Stim::BlockingStart),
+        Just(Stim::BlockingEnd),
+        Just(Stim::Commit),
+    ]
+}
+
+struct Driver {
+    peer_seq: u64,
+    act_seq: u64,
+    ctrl: u64,
+    ndc: u64,
+    blocking: bool,
+}
+
+impl Driver {
+    fn new() -> Self {
+        Driver {
+            peer_seq: 0,
+            act_seq: 0,
+            ctrl: 0,
+            ndc: 0,
+            blocking: false,
+        }
+    }
+
+    /// Converts a stimulus into a concrete event for an engine whose inbound
+    /// application traffic comes from `from`.
+    fn event(&mut self, stim: &Stim, from: ProcessId) -> Option<Event> {
+        match stim {
+            Stim::SendInternal => Some(Event::AppSend(OutboundMessage {
+                to: Endpoint::Process(PEER),
+                payload: vec![1],
+                external: false,
+                at_pass: true,
+            })),
+            Stim::SendExternal { at_pass } => Some(Event::AppSend(OutboundMessage {
+                to: Endpoint::Device(DeviceId(0)),
+                payload: vec![2],
+                external: true,
+                at_pass: *at_pass,
+            })),
+            Stim::RecvApp { dirty } => {
+                let seq = if from == ACT {
+                    self.act_seq += 1;
+                    self.act_seq
+                } else {
+                    self.peer_seq += 1;
+                    self.peer_seq
+                };
+                Some(Event::Deliver(Envelope::new(
+                    MsgId {
+                        from,
+                        seq: MsgSeqNo(seq),
+                    },
+                    PEER,
+                    MessageBody::Application {
+                        payload: vec![3],
+                        dirty: *dirty,
+                    },
+                )))
+            }
+            Stim::RecvPassedAt { matching_ndc } => {
+                self.ctrl += 1;
+                let ndc = if *matching_ndc { self.ndc } else { self.ndc + 7 };
+                Some(Event::Deliver(Envelope::new(
+                    MsgId {
+                        from: ACT,
+                        seq: MsgSeqNo((1 << 63) + self.ctrl),
+                    },
+                    PEER,
+                    MessageBody::PassedAt {
+                        msg_sn: MsgSeqNo(self.act_seq),
+                        ndc: CkptSeqNo(ndc),
+                    },
+                )))
+            }
+            Stim::BlockingStart => {
+                if self.blocking {
+                    return None;
+                }
+                self.blocking = true;
+                Some(Event::BlockingStarted)
+            }
+            Stim::BlockingEnd => {
+                if !self.blocking {
+                    return None;
+                }
+                self.blocking = false;
+                Some(Event::BlockingEnded)
+            }
+            Stim::Commit => {
+                self.ndc += 1;
+                Some(Event::StableCheckpointCommitted(CkptSeqNo(self.ndc)))
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// Peer invariants: every 0→1 dirty transition is guarded by a Type-1
+    /// checkpoint whose snapshot is clean; checkpoint actions always precede
+    /// the delivery in the same action list; `msg_sn` never decreases.
+    #[test]
+    fn peer_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+        let mut engine = PeerEngine::new(MdcdConfig::modified(), PEER, ACT, SDW);
+        let mut driver = Driver::new();
+        let mut last_sn = 0u64;
+        for stim in &stims {
+            let Some(event) = driver.event(stim, ACT) else { continue };
+            let dirty_before = engine.dirty_bit();
+            let actions = engine.handle(event);
+            // Dirty transition 0 -> 1 must produce a clean Type-1 snapshot.
+            if !dirty_before && engine.dirty_bit() {
+                let ckpt = actions.iter().find_map(|a| match a {
+                    Action::TakeCheckpoint { kind: CheckpointKind::Type1, engine } => Some(engine),
+                    _ => None,
+                });
+                let snap = ckpt.expect("contamination must be guarded by a Type-1 checkpoint");
+                prop_assert!(!snap.dirty, "Type-1 snapshot must be clean");
+            }
+            // A Type-1 checkpoint is always immediately followed by the
+            // delivery it guards (also inside batched BlockingEnded
+            // releases).
+            for (i, a) in actions.iter().enumerate() {
+                if matches!(a, Action::TakeCheckpoint { kind: CheckpointKind::Type1, .. }) {
+                    prop_assert!(
+                        matches!(actions.get(i + 1), Some(Action::DeliverToApp(_))),
+                        "Type-1 checkpoint must guard the next delivery"
+                    );
+                }
+            }
+            let sn = engine.snapshot().msg_sn.0;
+            prop_assert!(sn >= last_sn, "msg_sn must be monotone");
+            last_sn = sn;
+        }
+    }
+
+    /// Shadow invariants: nothing is ever sent before promotion; the log
+    /// never contains validated entries; takeover re-sends exactly the
+    /// unvalidated suffix.
+    #[test]
+    fn shadow_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+        let mut engine = ShadowEngine::new(MdcdConfig::modified(), SDW, PEER);
+        let mut driver = Driver::new();
+        for stim in &stims {
+            let Some(event) = driver.event(stim, PEER) else { continue };
+            let actions = engine.handle(event);
+            for a in &actions {
+                prop_assert!(!a.is_send(), "un-promoted shadow must stay silent: {a:?}");
+            }
+        }
+        let vr = engine.vr_act();
+        let plan = engine.take_over();
+        for env in &plan.resend {
+            prop_assert!(env.id.seq > vr, "validated entries must not be re-sent");
+        }
+    }
+
+    /// Active invariants: a pseudo checkpoint appears exactly when the
+    /// pseudo bit transitions 0→1, and its snapshot predates the send.
+    #[test]
+    fn active_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+        let mut engine = ActiveEngine::new(MdcdConfig::modified(), ACT, SDW, PEER);
+        let mut driver = Driver::new();
+        for stim in &stims {
+            let Some(event) = driver.event(stim, PEER) else { continue };
+            let batched = matches!(event, Event::BlockingEnded);
+            let pseudo_before = engine.pseudo_dirty_bit();
+            let halted_before = engine.is_halted();
+            let actions = engine.handle(event);
+            if halted_before {
+                prop_assert!(actions.is_empty(), "halted engine must be inert");
+                continue;
+            }
+            let has_pseudo_ckpt = actions.iter().any(|a| matches!(
+                a,
+                Action::TakeCheckpoint { kind: CheckpointKind::Pseudo, .. }
+            ));
+            let transitioned = !pseudo_before && engine.pseudo_dirty_bit();
+            if !batched {
+                // A batched BlockingEnded release can both set and clear the
+                // pseudo bit; the iff relation holds per held event, not for
+                // the batch's endpoints.
+                prop_assert_eq!(
+                    has_pseudo_ckpt, transitioned,
+                    "pseudo checkpoint iff pseudo bit transition"
+                );
+            }
+            if let Some(Action::TakeCheckpoint { engine: snap, .. }) =
+                actions.iter().find(|a| a.is_checkpoint())
+            {
+                prop_assert_eq!(snap.pseudo_dirty, Some(false), "snapshot predates the send");
+            }
+            prop_assert!(engine.dirty_bit(), "P1act is constantly dirty");
+        }
+    }
+
+    /// Blocking never drops traffic: everything held during a blocking
+    /// period is released, in order, at BlockingEnded.
+    #[test]
+    fn blocking_preserves_all_deliveries(n in 1usize..20) {
+        let mut engine = PeerEngine::new(MdcdConfig::modified(), PEER, ACT, SDW);
+        engine.handle(Event::BlockingStarted);
+        for seq in 1..=n as u64 {
+            let held = engine.handle(Event::Deliver(Envelope::new(
+                MsgId { from: ACT, seq: MsgSeqNo(seq) },
+                PEER,
+                MessageBody::Application { payload: vec![0], dirty: true },
+            )));
+            prop_assert!(held.is_empty());
+        }
+        let released = engine.handle(Event::BlockingEnded);
+        let delivered: Vec<u64> = released
+            .iter()
+            .filter_map(|a| match a {
+                Action::DeliverToApp(env) => Some(env.id.seq.0),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<u64> = (1..=n as u64).collect();
+        prop_assert_eq!(delivered, expected);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the generalized (N-component) containment layer.
+
+use proptest::prelude::*;
+use synergy_mdcd::general::{GeneralProcess, GeneralRecovery, SourceId, Taint};
+use synergy_net::ProcessId;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Receive { source: u32, watermark_bump: u64 },
+    Validate { source: u32, sn: u64 },
+    Send,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 1u64..5).prop_map(|(source, watermark_bump)| Op::Receive {
+            source,
+            watermark_bump
+        }),
+        (0u32..4, 0u64..20).prop_map(|(source, sn)| Op::Validate { source, sn }),
+        Just(Op::Send),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+    /// Dirty-set truthfulness holds by construction under any op sequence:
+    /// `s ∈ dirty ⟺ seen[s] > validated[s]`, and validation horizons only
+    /// grow.
+    #[test]
+    fn dirty_set_is_derived_truthfully(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut p = GeneralProcess::new(ProcessId(1), 8);
+        let mut seen: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut validated: std::collections::BTreeMap<u32, u64> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Receive { source, watermark_bump } => {
+                    let w = seen.get(source).copied().unwrap_or(0) + watermark_bump;
+                    seen.insert(*source, w);
+                    p.on_receive(&Taint::of(SourceId(*source), w), Vec::new);
+                }
+                Op::Validate { source, sn } => {
+                    let before = p.validated(SourceId(*source));
+                    p.on_validation(SourceId(*source), *sn);
+                    prop_assert!(p.validated(SourceId(*source)) >= before, "horizon monotone");
+                    let e = validated.entry(*source).or_insert(0);
+                    *e = (*e).max(*sn);
+                }
+                Op::Send => {
+                    let (sn, taint) = p.on_send(None);
+                    prop_assert!(sn >= 1);
+                    // Piggybacked taint equals the current exposure.
+                    for (s, w) in &seen {
+                        prop_assert_eq!(taint.watermark(SourceId(*s)), *w);
+                    }
+                }
+            }
+            let expected: Vec<SourceId> = seen
+                .iter()
+                .filter(|(s, w)| **w > validated.get(*s).copied().unwrap_or(0))
+                .map(|(s, _)| SourceId(*s))
+                .collect();
+            prop_assert_eq!(p.dirty_set(), expected);
+        }
+    }
+
+    /// Recovery plans never return a checkpoint that still reflects the
+    /// faulty source beyond the horizon, and roll-forward is chosen exactly
+    /// when the current state is within the horizon.
+    #[test]
+    fn recovery_plans_are_sound(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        faulty in 0u32..4,
+        horizon in 0u64..20,
+    ) {
+        let mut p = GeneralProcess::new(ProcessId(1), 8);
+        let mut seen: std::collections::BTreeMap<u32, u64> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Receive { source, watermark_bump } => {
+                    let w = seen.get(source).copied().unwrap_or(0) + watermark_bump;
+                    seen.insert(*source, w);
+                    p.on_receive(&Taint::of(SourceId(*source), w), Vec::new);
+                }
+                Op::Validate { source, sn } => p.on_validation(SourceId(*source), *sn),
+                Op::Send => {
+                    p.on_send(None);
+                }
+            }
+        }
+        let s = SourceId(faulty);
+        let current = seen.get(&faulty).copied().unwrap_or(0);
+        match p.recovery_plan(s, horizon) {
+            GeneralRecovery::RollForward => prop_assert!(current <= horizon),
+            GeneralRecovery::RollBackTo(c) => {
+                prop_assert!(current > horizon);
+                prop_assert!(c.seen.watermark(s) <= horizon,
+                    "restored state must be within the horizon");
+            }
+            GeneralRecovery::Unrecoverable => prop_assert!(current > horizon),
+        }
+    }
+
+    /// The checkpoint stack never exceeds its configured depth.
+    #[test]
+    fn stack_depth_is_bounded(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        depth in 1usize..6,
+    ) {
+        let mut p = GeneralProcess::new(ProcessId(1), depth);
+        let mut next = 0u64;
+        for op in &ops {
+            if let Op::Receive { source, watermark_bump } = op {
+                next += watermark_bump;
+                p.on_receive(&Taint::of(SourceId(*source), next), Vec::new);
+            }
+            prop_assert!(p.checkpoints() <= depth);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! One process thread: application + MDCD engine + volatile storage.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use synergy::app::{Application, CounterApp};
+use synergy::payload::CheckpointPayload;
+use synergy_des::SimTime;
+use synergy_mdcd::{
+    Action, Event, MdcdConfig, OutboundMessage, ProcessRole, RecoveryDecision,
+};
+use synergy_net::threaded::ThreadedNet;
+use synergy_net::{Endpoint, Envelope, MessageBody, ProcessId};
+use synergy_storage::VolatileStore;
+
+use crate::supervisor::SupEvent;
+use crate::tb_runtime::{payload_now, TbEffect, TbRuntime};
+use crate::{DEVICE, P1ACT, P1SDW, P2};
+
+/// Commands a node thread accepts.
+#[derive(Debug)]
+pub(crate) enum NodeCmd {
+    /// Produce one application message.
+    Produce {
+        /// Whether the message is external (acceptance-tested).
+        external: bool,
+    },
+    /// Arm/disarm the design fault (active process only; others ignore it).
+    SetFaulty(bool),
+    /// Shadow only: decide, restore if needed, promote, re-send.
+    TakeOver,
+    /// Peer only: the promoted shadow is the new active endpoint.
+    RetargetActive(ProcessId),
+    /// The process is dead (active after takeover).
+    Halt,
+    /// Report live status.
+    Status(Sender<NodeStatus>),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// A live snapshot of one node.
+#[derive(Clone, Debug)]
+pub struct NodeStatus {
+    /// The process.
+    pub pid: ProcessId,
+    /// Its current role.
+    pub role: ProcessRole,
+    /// The MDCD dirty bit.
+    pub dirty: bool,
+    /// Whether a shadow has been promoted.
+    pub promoted: bool,
+    /// Suppressed messages currently logged (shadow only).
+    pub logged: usize,
+    /// Volatile checkpoints established.
+    pub ckpts: u64,
+    /// Acceptance tests executed.
+    pub at_runs: u64,
+    /// Application messages delivered to the application.
+    pub delivered: u64,
+    /// Whether the node has been halted.
+    pub halted: bool,
+    /// Stable checkpoints committed by the TB runtime (0 when disabled).
+    pub stable_commits: u64,
+}
+
+/// Final per-node accounting.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The process.
+    pub pid: ProcessId,
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Volatile checkpoints established.
+    pub ckpts: u64,
+    /// Acceptance tests executed.
+    pub at_runs: u64,
+    /// Whether the node ended promoted (shadow) or halted (active).
+    pub promoted: bool,
+    /// Stable checkpoints committed by the TB runtime (0 when disabled).
+    pub stable_commits: u64,
+    /// Adapted-TB in-flight content replacements.
+    pub stable_replacements: u64,
+}
+
+pub(crate) struct NodeRunner {
+    pid: ProcessId,
+    app: CounterApp,
+    engine: synergy::roles::RoleEngine,
+    volatile: VolatileStore,
+    net: Arc<ThreadedNet>,
+    net_rx: Receiver<Envelope>,
+    cmd_rx: Receiver<NodeCmd>,
+    sup_tx: Sender<SupEvent>,
+    started: std::time::Instant,
+    delivered: u64,
+    ckpts: u64,
+    halted: bool,
+    dead_senders: Vec<ProcessId>,
+    sent_log: Vec<synergy::payload::SentRecord>,
+    tb: Option<TbRuntime>,
+}
+
+impl NodeRunner {
+    pub fn new(
+        pid: ProcessId,
+        seed: u64,
+        net: Arc<ThreadedNet>,
+        cmd_rx: Receiver<NodeCmd>,
+        sup_tx: Sender<SupEvent>,
+        tb: Option<synergy_tb::TbConfig>,
+    ) -> Self {
+        let role = match pid {
+            p if p == P1ACT => ProcessRole::Active,
+            p if p == P1SDW => ProcessRole::Shadow,
+            _ => ProcessRole::Peer,
+        };
+        let net_rx = net.register(Endpoint::Process(pid));
+        NodeRunner {
+            pid,
+            app: CounterApp::new(seed ^ 0xA5A5),
+            engine: synergy::roles::RoleEngine::new(
+                role,
+                MdcdConfig::modified(),
+                P1ACT,
+                P1SDW,
+                P2,
+            ),
+            volatile: VolatileStore::new(),
+            net,
+            net_rx,
+            cmd_rx,
+            sup_tx,
+            started: std::time::Instant::now(),
+            delivered: 0,
+            ckpts: 0,
+            halted: false,
+            dead_senders: Vec::new(),
+            sent_log: Vec::new(),
+            tb: tb.map(TbRuntime::new),
+        }
+    }
+
+    pub fn run(mut self) -> NodeReport {
+        loop {
+            // Bound the wait by the next TB deadline so timers fire on time.
+            let timeout = self
+                .tb
+                .as_ref()
+                .and_then(TbRuntime::next_deadline)
+                .map(|d| d.saturating_duration_since(std::time::Instant::now()))
+                .unwrap_or(std::time::Duration::from_millis(50));
+            let mut stop = false;
+            crossbeam::channel::select! {
+                recv(self.net_rx) -> env => {
+                    if let Ok(env) = env {
+                        self.on_envelope(env);
+                    }
+                }
+                recv(self.cmd_rx) -> cmd => {
+                    match cmd {
+                        Ok(NodeCmd::Shutdown) | Err(_) => stop = true,
+                        Ok(cmd) => self.on_cmd(cmd),
+                    }
+                }
+                default(timeout) => {}
+            }
+            if stop {
+                break;
+            }
+            self.tick_tb();
+        }
+        NodeReport {
+            pid: self.pid,
+            delivered: self.delivered,
+            ckpts: self.ckpts,
+            at_runs: self.engine.at_runs(),
+            promoted: self.engine.role() == ProcessRole::Active && self.pid == P1SDW,
+            stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
+            stable_replacements: self.tb.as_ref().map_or(0, TbRuntime::replacements),
+        }
+    }
+
+    fn current_payload(&self) -> CheckpointPayload {
+        payload_now(
+            self.app.snapshot(),
+            self.engine.snapshot(),
+            self.sent_log.clone(),
+            self.started.elapsed(),
+        )
+    }
+
+    fn tick_tb(&mut self) {
+        let Some(mut tb) = self.tb.take() else { return };
+        let dirty = self.engine.checkpoint_bit();
+        let current = self.current_payload();
+        let vol = self
+            .volatile
+            .latest()
+            .and_then(|c| CheckpointPayload::from_checkpoint(c).ok());
+        let effects = tb.tick(dirty, &|| current.clone(), &|| vol.clone());
+        self.tb = Some(tb);
+        for e in effects {
+            match e {
+                TbEffect::BlockingStarted => {
+                    let actions = self.engine.handle(Event::BlockingStarted);
+                    self.apply(actions);
+                }
+                TbEffect::Committed(ndc) => {
+                    let mut actions = self
+                        .engine
+                        .handle(Event::StableCheckpointCommitted(ndc));
+                    actions.extend(self.engine.handle(Event::BlockingEnded));
+                    self.apply(actions);
+                }
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(
+            u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
+    }
+
+    fn on_envelope(&mut self, env: Envelope) {
+        if self.halted
+            || env.body.is_ack()
+            || self.dead_senders.contains(&env.from())
+        {
+            return;
+        }
+        let bit_before = self.engine.checkpoint_bit();
+        let actions = self.engine.handle(Event::Deliver(env));
+        self.apply(actions);
+        let bit_after = self.engine.checkpoint_bit();
+        if bit_before && !bit_after {
+            if let Some(mut tb) = self.tb.take() {
+                let current = self.current_payload();
+                tb.dirty_cleared(&|| current.clone());
+                self.tb = Some(tb);
+            }
+        }
+    }
+
+    fn on_cmd(&mut self, cmd: NodeCmd) {
+        match cmd {
+            NodeCmd::Produce { external } => {
+                if self.halted {
+                    return;
+                }
+                let payload = if external {
+                    self.app.produce_external()
+                } else {
+                    self.app.produce_internal()
+                };
+                let at_pass = self.app.acceptance_test(&payload);
+                let to = if external {
+                    Endpoint::Device(DEVICE)
+                } else {
+                    Endpoint::Process(P2)
+                };
+                let actions = self.engine.handle(Event::AppSend(OutboundMessage {
+                    to,
+                    payload,
+                    external,
+                    at_pass,
+                }));
+                self.apply(actions);
+            }
+            NodeCmd::SetFaulty(on) => self.app.set_faulty(on),
+            NodeCmd::TakeOver => {
+                let decision = self
+                    .engine
+                    .recovery_decision()
+                    .unwrap_or(RecoveryDecision::RollForward);
+                if decision == RecoveryDecision::RollBack {
+                    if let Some(ckpt) = self.volatile.latest_cloned() {
+                        if let Ok(p) = CheckpointPayload::from_checkpoint(&ckpt) {
+                            self.app.restore(&p.app);
+                            self.engine.restore(&p.engine);
+                            self.sent_log = p.sent.clone();
+                        }
+                    }
+                }
+                self.dead_senders.push(P1ACT);
+                let plan = self.engine.take_over();
+                for env in plan.resend {
+                    self.net.send(env);
+                }
+                let _ = self.sup_tx.send(SupEvent::TakeoverDone { by: self.pid });
+            }
+            NodeCmd::RetargetActive(new_active) => {
+                let decision = self
+                    .engine
+                    .recovery_decision()
+                    .unwrap_or(RecoveryDecision::RollForward);
+                if decision == RecoveryDecision::RollBack {
+                    if let Some(ckpt) = self.volatile.latest_cloned() {
+                        if let Ok(p) = CheckpointPayload::from_checkpoint(&ckpt) {
+                            self.app.restore(&p.app);
+                            self.engine.restore(&p.engine);
+                            self.sent_log = p.sent.clone();
+                        }
+                    }
+                }
+                self.dead_senders.push(P1ACT);
+                if let Some(peer) = self.engine.as_peer_mut() {
+                    peer.retarget_active(new_active);
+                }
+            }
+            NodeCmd::Halt => self.halted = true,
+            NodeCmd::Status(tx) => {
+                let snap = self.engine.snapshot();
+                let _ = tx.send(NodeStatus {
+                    pid: self.pid,
+                    role: self.engine.role(),
+                    dirty: self.engine.dirty_bit(),
+                    promoted: snap.promoted,
+                    logged: snap.log.len(),
+                    ckpts: self.ckpts,
+                    at_runs: self.engine.at_runs(),
+                    delivered: self.delivered,
+                    halted: self.halted,
+                    stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
+                });
+            }
+            NodeCmd::Shutdown => unreachable!("handled by the select loop"),
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(env) => {
+                    if let (MessageBody::Application { .. }, Endpoint::Process(p)) =
+                        (&env.body, env.to)
+                    {
+                        self.sent_log.push(synergy::payload::SentRecord {
+                            to: p,
+                            seq: env.id.seq,
+                        });
+                    }
+                    self.net.send(env);
+                }
+                Action::TakeCheckpoint { kind, engine } => {
+                    self.ckpts += 1;
+                    let payload = CheckpointPayload::new(
+                        self.app.snapshot(),
+                        engine,
+                        Vec::new(),
+                        self.sent_log.clone(),
+                        self.now(),
+                    );
+                    if let Ok(ckpt) = payload.into_checkpoint(self.ckpts, kind.to_string()) {
+                        self.volatile.save(ckpt);
+                    }
+                }
+                Action::DeliverToApp(env) => {
+                    if let MessageBody::Application { payload, .. } = &env.body {
+                        self.app.on_message(env.from(), env.id.seq, payload);
+                        self.delivered += 1;
+                    }
+                }
+                Action::AtPerformed { .. } => {}
+                Action::SoftwareErrorDetected => {
+                    self.halted = self.pid == P1ACT;
+                    let _ = self.sup_tx.send(SupEvent::SoftwareError {
+                        detected_by: self.pid,
+                    });
+                }
+            }
+        }
+    }
+}

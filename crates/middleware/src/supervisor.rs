@@ -1,0 +1,99 @@
+//! The takeover supervisor.
+//!
+//! In the simulator the system driver orchestrates software recovery
+//! synchronously; in the threaded runtime a small supervisor thread plays
+//! that role: on an acceptance-test failure it halts the active process,
+//! commands the shadow to take over, and retargets the peer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use synergy_net::ProcessId;
+
+use crate::node::NodeCmd;
+use crate::{P1ACT, P1SDW, P2};
+
+/// Events nodes report to the supervisor.
+#[derive(Debug)]
+pub(crate) enum SupEvent {
+    /// An acceptance test failed at `detected_by`.
+    SoftwareError {
+        /// The detecting process (carried for diagnostics; the recovery
+        /// procedure is the same regardless of who detected the error).
+        #[allow(dead_code)]
+        detected_by: ProcessId,
+    },
+    /// The shadow finished its takeover.
+    TakeoverDone {
+        /// The (now promoted) shadow.
+        #[allow(dead_code)]
+        by: ProcessId,
+    },
+}
+
+pub(crate) struct Supervisor {
+    recoveries: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    pub fn spawn(rx: Receiver<SupEvent>, cmd: HashMap<ProcessId, Sender<NodeCmd>>) -> Self {
+        let recoveries = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&recoveries);
+        let handle = std::thread::Builder::new()
+            .name("synergy-supervisor".into())
+            .spawn(move || {
+                let mut recovering = false;
+                while let Ok(event) = rx.recv() {
+                    match event {
+                        SupEvent::SoftwareError { .. } if !recovering => {
+                            recovering = true;
+                            // error_recovery(P1sdw, P2): halt the active,
+                            // promote the shadow, retarget the peer.
+                            let _ = cmd[&P1ACT].send(NodeCmd::Halt);
+                            let _ = cmd[&P1SDW].send(NodeCmd::TakeOver);
+                            let _ = cmd[&P2].send(NodeCmd::RetargetActive(P1SDW));
+                        }
+                        SupEvent::SoftwareError { .. } => {}
+                        SupEvent::TakeoverDone { .. } => {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+            .expect("spawn supervisor");
+        Supervisor {
+            recoveries,
+            handle: Some(handle),
+        }
+    }
+
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::SeqCst)
+    }
+
+    /// Polls until `n` recoveries have completed or `timeout` expires.
+    pub fn wait_for(&self, n: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let seen = self.recoveries();
+            if seen >= n || Instant::now() >= deadline {
+                return seen;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the supervisor thread (its channel closes when all senders
+    /// drop; this just reaps the join handle).
+    pub fn stop(mut self) {
+        if let Some(h) = self.handle.take() {
+            // The event channel's senders live in node threads, which have
+            // been shut down by now; recv() errors out and the thread ends.
+            let _ = h.join();
+        }
+    }
+}

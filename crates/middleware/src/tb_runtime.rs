@@ -1,0 +1,293 @@
+//! Real-time adapted-TB checkpointing for the threaded runtime.
+//!
+//! The paper's concluding remarks plan to "incorporate the
+//! protocol-coordination scheme into the GSU Middleware"; this module does
+//! that for the threaded runtime: each node owns a [`TbEngine`] driven by
+//! wall-clock deadlines, persists coordinated checkpoints into a
+//! [`StableStore`], and bridges the blocking periods into the MDCD engine
+//! exactly like the simulator driver does.
+//!
+//! Wall-clock notes: thread clocks share one time base, so `δ` and `ρ` are
+//! configuration inputs to the blocking-period formula rather than measured
+//! properties; acknowledgment tracking is delegated to the transport layer
+//! and the saved unacked set is the node's ack tracker contents at write
+//! time.
+
+use std::time::{Duration, Instant};
+
+use synergy::payload::CheckpointPayload;
+use synergy_clocks::LocalTime;
+use synergy_des::SimTime;
+use synergy_storage::StableStore;
+use synergy_tb::{Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine};
+
+/// Wall-clock TB state for one node.
+pub(crate) struct TbRuntime {
+    engine: TbEngine,
+    stable: StableStore,
+    epoch: Instant,
+    next_timer: Option<Instant>,
+    blocking_until: Option<Instant>,
+    commits: u64,
+    replacements: u64,
+}
+
+/// What the node loop must do after a TB tick.
+pub(crate) enum TbEffect {
+    /// A blocking period started: forward `BlockingStarted` to MDCD.
+    BlockingStarted,
+    /// A blocking period ended: forward `StableCheckpointCommitted(ndc)`
+    /// and `BlockingEnded` to MDCD.
+    Committed(synergy_net::CkptSeqNo),
+}
+
+impl TbRuntime {
+    pub fn new(config: TbConfig) -> Self {
+        let engine = TbEngine::new(config);
+        let epoch = Instant::now();
+        let mut rt = TbRuntime {
+            engine,
+            stable: StableStore::new(),
+            epoch,
+            next_timer: None,
+            blocking_until: None,
+            commits: 0,
+            replacements: 0,
+        };
+        let actions = rt.engine.start();
+        rt.absorb_schedule(actions);
+        rt
+    }
+
+    fn local_now(&self) -> LocalTime {
+        LocalTime::from_nanos(
+            u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
+    }
+
+    fn to_instant(&self, local: LocalTime) -> Instant {
+        self.epoch + Duration::from_nanos(local.as_nanos())
+    }
+
+    fn absorb_schedule(&mut self, actions: Vec<TbAction>) {
+        for a in actions {
+            if let TbAction::ScheduleTimer { at } = a {
+                self.next_timer = Some(self.to_instant(at));
+            }
+        }
+    }
+
+    /// The next instant the node loop must wake up for, if any.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        match (self.next_timer, self.blocking_until) {
+            (Some(t), Some(b)) => Some(t.min(b)),
+            (t, b) => t.or(b),
+        }
+    }
+
+    /// Stable checkpoints committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// In-flight content replacements so far.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Drives due deadlines. `dirty` is the MDCD checkpoint-relevant bit;
+    /// `payload` builds the current-state checkpoint payload on demand;
+    /// `volatile_copy` fetches the most recent volatile checkpoint payload.
+    pub fn tick(
+        &mut self,
+        dirty: bool,
+        payload: &dyn Fn() -> CheckpointPayload,
+        volatile_copy: &dyn Fn() -> Option<CheckpointPayload>,
+    ) -> Vec<TbEffect> {
+        let mut effects = Vec::new();
+        let now = Instant::now();
+        if let Some(b) = self.blocking_until {
+            if now >= b {
+                self.blocking_until = None;
+                let actions = self.engine.handle(TbEvent::BlockingElapsed);
+                for a in actions {
+                    if let TbAction::CommitStableWrite { ndc } = a {
+                        if self.stable.commit_write().is_ok() {
+                            self.commits += 1;
+                        }
+                        effects.push(TbEffect::Committed(ndc));
+                    }
+                }
+            }
+        }
+        if let Some(t) = self.next_timer {
+            if now >= t && self.blocking_until.is_none() {
+                self.next_timer = None;
+                let now_local = self.local_now();
+                let actions = self.engine.handle(TbEvent::TimerExpired { now_local, dirty });
+                for a in actions {
+                    match a {
+                        TbAction::BeginStableWrite { contents, .. } => {
+                            let p = match contents {
+                                ContentsChoice::CurrentState => payload(),
+                                ContentsChoice::VolatileCopy => {
+                                    volatile_copy().unwrap_or_else(payload)
+                                }
+                            };
+                            let seq = self.engine.ndc().0 + 1;
+                            if let Ok(ckpt) = p.into_checkpoint(seq, "stable") {
+                                let _ = self.stable.begin_write(ckpt);
+                            }
+                        }
+                        TbAction::StartBlocking { duration } => {
+                            self.blocking_until =
+                                Some(now + Duration::from_nanos(duration.as_nanos()));
+                            effects.push(TbEffect::BlockingStarted);
+                        }
+                        TbAction::ScheduleTimer { at } => {
+                            self.next_timer = Some(self.to_instant(at));
+                        }
+                        // Thread clocks share a time base; resynchronization
+                        // is a no-op here.
+                        TbAction::RequestResync => {}
+                        TbAction::ReplaceWithCurrentState | TbAction::CommitStableWrite { .. } => {}
+                    }
+                }
+            }
+        }
+        effects
+    }
+
+    /// The MDCD dirty bit was cleared (a `passed_AT` matched) — possibly
+    /// inside the blocking period.
+    pub fn dirty_cleared(&mut self, payload: &dyn Fn() -> CheckpointPayload) {
+        let actions = self.engine.handle(TbEvent::DirtyCleared);
+        for a in actions {
+            if let TbAction::ReplaceWithCurrentState = a {
+                let seq = self.engine.ndc().0 + 1;
+                if let Ok(ckpt) = payload().into_checkpoint(seq, "stable-replaced") {
+                    if self.stable.replace_in_progress(ckpt).is_ok() {
+                        self.replacements += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The latest committed stable checkpoint, if any (used by recovery
+    /// tooling and tests).
+    #[allow(dead_code)]
+    pub fn latest(&self) -> Option<CheckpointPayload> {
+        self.stable
+            .latest()
+            .and_then(|c| CheckpointPayload::from_checkpoint(c).ok())
+    }
+}
+
+/// Builds a `CheckpointPayload` helper for middleware nodes.
+pub(crate) fn payload_now(
+    app_snapshot: Vec<u8>,
+    engine: synergy_mdcd::EngineSnapshot,
+    sent: Vec<synergy::payload::SentRecord>,
+    since_start: Duration,
+) -> CheckpointPayload {
+    CheckpointPayload::new(
+        app_snapshot,
+        engine,
+        Vec::new(),
+        sent,
+        SimTime::from_nanos(u64::try_from(since_start.as_nanos()).unwrap_or(u64::MAX)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_clocks::SyncParams;
+    use synergy_des::SimDuration;
+    use synergy_mdcd::EngineSnapshot;
+    use synergy_tb::TbVariant;
+
+    fn config(interval_ms: u64) -> TbConfig {
+        TbConfig::new(
+            TbVariant::Adapted,
+            SimDuration::from_millis(interval_ms),
+            SyncParams::new(SimDuration::from_micros(100), 0.0),
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(500),
+        )
+    }
+
+    fn payload() -> CheckpointPayload {
+        payload_now(vec![1, 2, 3], EngineSnapshot::default(), Vec::new(), Duration::ZERO)
+    }
+
+    #[test]
+    fn commits_checkpoints_on_wall_clock() {
+        let mut rt = TbRuntime::new(config(20));
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut effects = Vec::new();
+        while rt.commits() < 2 && Instant::now() < deadline {
+            effects.extend(rt.tick(false, &payload, &|| None));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rt.commits() >= 2, "expected periodic commits");
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, TbEffect::Committed(_))));
+        assert!(rt.latest().is_some());
+    }
+
+    #[test]
+    fn dirty_timer_copies_volatile_checkpoint() {
+        let mut rt = TbRuntime::new(config(10));
+        let vol = CheckpointPayload::new(
+            vec![9, 9],
+            EngineSnapshot::default(),
+            Vec::new(),
+            Vec::new(),
+            SimTime::from_nanos(42),
+        );
+        let vol_clone = vol.clone();
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while rt.commits() < 1 && Instant::now() < deadline {
+            rt.tick(true, &payload, &|| Some(vol_clone.clone()));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let latest = rt.latest().expect("committed");
+        assert_eq!(latest.app, vol.app, "dirty process persists the volatile copy");
+        assert_eq!(latest.state_time(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn dirty_cleared_replaces_in_flight_contents() {
+        let mut rt = TbRuntime::new(config(10));
+        let vol = CheckpointPayload::new(
+            vec![9, 9],
+            EngineSnapshot::default(),
+            Vec::new(),
+            Vec::new(),
+            SimTime::from_nanos(42),
+        );
+        // Wait for the timer to fire (dirty) and begin the write...
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while rt.next_deadline().is_some() && rt.commits() == 0 && Instant::now() < deadline {
+            rt.tick(true, &payload, &|| Some(vol.clone()));
+            // ...and replace mid-blocking the moment a write is in flight.
+            if rt.stable.is_writing() {
+                rt.dirty_cleared(&payload);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rt.replacements(), 1, "in-flight write must be replaced");
+        // Let the blocking period finish and commit.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while rt.commits() == 0 && Instant::now() < deadline {
+            rt.tick(false, &payload, &|| None);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let latest = rt.latest().expect("committed");
+        assert_eq!(latest.app, payload().app, "current state won");
+    }
+}

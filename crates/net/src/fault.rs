@@ -1,0 +1,98 @@
+//! Link-level fault injection.
+
+use rand::Rng;
+use synergy_des::DetRng;
+
+/// Probabilistic message loss and duplication on a link.
+///
+/// The protocols under study assume reliable FIFO channels for their
+/// correctness arguments; fault injection exists for the *negative* tests
+/// that show which guarantees the transport layer itself must provide.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered twice.
+    pub dup_prob: f64,
+}
+
+impl LinkFaults {
+    /// No faults: every message delivered exactly once.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+    };
+
+    /// Creates a fault model, validating probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(drop_prob: f64, dup_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "invalid drop_prob: {drop_prob}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&dup_prob),
+            "invalid dup_prob: {dup_prob}"
+        );
+        LinkFaults {
+            drop_prob,
+            dup_prob,
+        }
+    }
+
+    /// Whether the next message should be dropped.
+    pub fn roll_drop(&self, rng: &mut DetRng) -> bool {
+        self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob)
+    }
+
+    /// Whether the next delivered message should be duplicated.
+    pub fn roll_duplicate(&self, rng: &mut DetRng) -> bool {
+        self.dup_prob > 0.0 && rng.gen_bool(self.dup_prob)
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let mut rng = DetRng::new(0);
+        for _ in 0..100 {
+            assert!(!LinkFaults::NONE.roll_drop(&mut rng));
+            assert!(!LinkFaults::NONE.roll_duplicate(&mut rng));
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let f = LinkFaults::new(1.0, 0.0);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            assert!(f.roll_drop(&mut rng));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let f = LinkFaults::new(0.3, 0.0);
+        let mut rng = DetRng::new(2);
+        let drops = (0..10_000).filter(|_| f.roll_drop(&mut rng)).count();
+        assert!((2_500..3_500).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drop_prob")]
+    fn invalid_probability_rejected() {
+        LinkFaults::new(1.5, 0.0);
+    }
+}

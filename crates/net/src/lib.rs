@@ -1,0 +1,35 @@
+//! Message model and transports for `synergy-ft`.
+//!
+//! This crate defines everything the protocol engines know about messaging —
+//! [`Envelope`]s, sequence numbers, piggybacked metadata — plus two ways of
+//! moving envelopes around:
+//!
+//! * [`SimNetwork`]: a *pure* routing model for the discrete-event simulator.
+//!   Given a send instant it answers "when does this arrive, if ever?",
+//!   enforcing per-link FIFO order, bounded delays `[tmin, tmax]`, and
+//!   optional loss/duplication injection. The DES driver in the `synergy`
+//!   crate turns those answers into scheduled events.
+//! * [`threaded::ThreadedNet`]: a crossbeam-channel transport with a delivery
+//!   thread, used by the `synergy-middleware` runtime.
+//!
+//! The time-based checkpointing protocol only relies on the delay bounds and
+//! on acknowledgment bookkeeping ([`AckTracker`]), which is why a simulated
+//! network preserves its behaviour faithfully (see DESIGN.md §2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ack;
+mod delay;
+mod fault;
+mod message;
+mod sim;
+pub mod threaded;
+
+pub use ack::AckTracker;
+pub use delay::DelayModel;
+pub use fault::LinkFaults;
+pub use message::{
+    CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+};
+pub use sim::{LinkKey, RouteDecision, SimNetwork};

@@ -1,0 +1,316 @@
+//! Pure routing model for the discrete-event simulator.
+
+use std::collections::HashMap;
+
+use synergy_des::{DetRng, SimDuration, SimTime};
+
+use crate::delay::DelayModel;
+use crate::fault::LinkFaults;
+use crate::message::{Endpoint, Envelope, ProcessId};
+
+/// An ordered link: one sender process to one destination endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkKey {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving endpoint.
+    pub to: Endpoint,
+}
+
+impl LinkKey {
+    /// The link carrying `envelope`.
+    pub fn of(envelope: &Envelope) -> LinkKey {
+        LinkKey {
+            from: envelope.from(),
+            to: envelope.to,
+        }
+    }
+}
+
+/// The outcome of routing one envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Deliver at `at`; when `duplicate_at` is set the message arrives a
+    /// second time at that instant.
+    Deliver {
+        /// Primary delivery instant.
+        at: SimTime,
+        /// Optional duplicate delivery instant.
+        duplicate_at: Option<SimTime>,
+    },
+    /// The message was lost.
+    Dropped,
+}
+
+/// Delivery counters kept by [`SimNetwork`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Envelopes handed to `route`.
+    pub sent: u64,
+    /// Primary deliveries decided.
+    pub delivered: u64,
+    /// Envelopes dropped by fault injection.
+    pub dropped: u64,
+    /// Duplicate deliveries decided.
+    pub duplicated: u64,
+}
+
+/// Bounded-delay FIFO network model.
+///
+/// `SimNetwork` holds no event queue of its own: the DES driver asks it to
+/// [`route`](SimNetwork::route) each envelope and schedules the resulting
+/// delivery instants. Per-link FIFO order is enforced by never scheduling a
+/// delivery earlier than the link's previous one; the simulator's FIFO
+/// tie-break preserves order among equal instants.
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_des::{DetRng, SimDuration, SimTime};
+/// use synergy_net::{DelayModel, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId, RouteDecision, SimNetwork};
+///
+/// let mut net = SimNetwork::new(
+///     DelayModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(500)),
+///     DetRng::new(7),
+/// );
+/// let env = Envelope::new(
+///     MsgId { from: ProcessId(1), seq: MsgSeqNo(0) },
+///     ProcessId(2),
+///     MessageBody::Application { payload: vec![], dirty: false },
+/// );
+/// match net.route(SimTime::ZERO, &env) {
+///     RouteDecision::Deliver { at, .. } => assert!(at >= SimTime::from_nanos(100_000)),
+///     RouteDecision::Dropped => unreachable!("no fault injection configured"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimNetwork {
+    default_delay: DelayModel,
+    link_delays: HashMap<LinkKey, DelayModel>,
+    default_faults: LinkFaults,
+    link_faults: HashMap<LinkKey, LinkFaults>,
+    last_delivery: HashMap<LinkKey, SimTime>,
+    rng: DetRng,
+    counters: NetCounters,
+}
+
+impl SimNetwork {
+    /// Creates a network where every link uses `default_delay` and no faults.
+    pub fn new(default_delay: DelayModel, rng: DetRng) -> Self {
+        SimNetwork {
+            default_delay,
+            link_delays: HashMap::new(),
+            default_faults: LinkFaults::NONE,
+            link_faults: HashMap::new(),
+            last_delivery: HashMap::new(),
+            rng: rng.stream("sim-network"),
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// Overrides the delay model of one link (scenario scripting).
+    pub fn set_link_delay(&mut self, link: LinkKey, model: DelayModel) {
+        self.link_delays.insert(link, model);
+    }
+
+    /// Sets the fault model applied to every link without an override.
+    pub fn set_default_faults(&mut self, faults: LinkFaults) {
+        self.default_faults = faults;
+    }
+
+    /// Overrides the fault model of one link.
+    pub fn set_link_faults(&mut self, link: LinkKey, faults: LinkFaults) {
+        self.link_faults.insert(link, faults);
+    }
+
+    /// The smallest delay any link can exhibit (`tmin`).
+    pub fn tmin(&self) -> SimDuration {
+        self.link_delays
+            .values()
+            .map(DelayModel::min_delay)
+            .chain(std::iter::once(self.default_delay.min_delay()))
+            .min()
+            .expect("iterator is non-empty")
+    }
+
+    /// The largest delay any link can exhibit (`tmax`).
+    pub fn tmax(&self) -> SimDuration {
+        self.link_delays
+            .values()
+            .map(DelayModel::max_delay)
+            .chain(std::iter::once(self.default_delay.max_delay()))
+            .max()
+            .expect("iterator is non-empty")
+    }
+
+    /// Routing counters so far.
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Decides when (whether) `envelope`, sent at `now`, arrives.
+    pub fn route(&mut self, now: SimTime, envelope: &Envelope) -> RouteDecision {
+        self.counters.sent += 1;
+        let link = LinkKey::of(envelope);
+        let faults = *self.link_faults.get(&link).unwrap_or(&self.default_faults);
+        if faults.roll_drop(&mut self.rng) {
+            self.counters.dropped += 1;
+            return RouteDecision::Dropped;
+        }
+        let model = self.link_delays.get(&link).unwrap_or(&self.default_delay);
+        let delay = model.sample(&mut self.rng);
+        let natural = now + delay;
+        let fifo_floor = self
+            .last_delivery
+            .get(&link)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let at = natural.max(fifo_floor);
+        self.last_delivery.insert(link, at);
+        self.counters.delivered += 1;
+        let duplicate_at = if faults.roll_duplicate(&mut self.rng) {
+            self.counters.duplicated += 1;
+            let extra = model.sample(&mut self.rng);
+            let dup = (at + extra).max(at);
+            self.last_delivery.insert(link, dup);
+            Some(dup)
+        } else {
+            None
+        };
+        RouteDecision::Deliver { at, duplicate_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MessageBody, MsgId, MsgSeqNo};
+
+    fn env(seq: u64) -> Envelope {
+        Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(seq),
+            },
+            ProcessId(2),
+            MessageBody::Application {
+                payload: vec![],
+                dirty: false,
+            },
+        )
+    }
+
+    fn net(model: DelayModel) -> SimNetwork {
+        SimNetwork::new(model, DetRng::new(42))
+    }
+
+    #[test]
+    fn fixed_delay_is_exact() {
+        let mut n = net(DelayModel::Fixed(SimDuration::from_millis(1)));
+        match n.route(SimTime::ZERO, &env(0)) {
+            RouteDecision::Deliver { at, duplicate_at } => {
+                assert_eq!(at, SimTime::from_nanos(1_000_000));
+                assert_eq!(duplicate_at, None);
+            }
+            RouteDecision::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_link() {
+        // With a widely varying delay, later sends could naturally arrive
+        // earlier; FIFO flooring must prevent that.
+        let mut n = net(DelayModel::uniform(
+            SimDuration::from_micros(1),
+            SimDuration::from_millis(100),
+        ));
+        let mut last = SimTime::ZERO;
+        for i in 0..200 {
+            let sent_at = SimTime::from_nanos(i * 10);
+            match n.route(sent_at, &env(i)) {
+                RouteDecision::Deliver { at, .. } => {
+                    assert!(at >= last, "FIFO violated: {at} < {last}");
+                    last = at;
+                }
+                RouteDecision::Dropped => panic!("unexpected drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn different_links_do_not_share_fifo_floor() {
+        let mut n = net(DelayModel::Fixed(SimDuration::from_millis(10)));
+        // First message on link 1->2 lands at 10ms.
+        n.route(SimTime::ZERO, &env(0));
+        // A message on link 1->3 sent later but with the same delay must not
+        // be floored by the other link's last delivery.
+        let other = Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(1),
+            },
+            ProcessId(3),
+            MessageBody::Application {
+                payload: vec![],
+                dirty: false,
+            },
+        );
+        match n.route(SimTime::from_nanos(1), &other) {
+            RouteDecision::Deliver { at, .. } => {
+                assert_eq!(at, SimTime::from_nanos(10_000_001));
+            }
+            RouteDecision::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn drop_faults_drop() {
+        let mut n = net(DelayModel::Fixed(SimDuration::from_millis(1)));
+        n.set_default_faults(LinkFaults::new(1.0, 0.0));
+        assert_eq!(n.route(SimTime::ZERO, &env(0)), RouteDecision::Dropped);
+        assert_eq!(n.counters().dropped, 1);
+    }
+
+    #[test]
+    fn duplicates_arrive_no_earlier_than_primary() {
+        let mut n = net(DelayModel::uniform(
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(50),
+        ));
+        n.set_default_faults(LinkFaults::new(0.0, 1.0));
+        for i in 0..50 {
+            if let RouteDecision::Deliver { at, duplicate_at } =
+                n.route(SimTime::from_nanos(i * 1000), &env(i))
+            {
+                let dup = duplicate_at.expect("dup_prob = 1");
+                assert!(dup >= at);
+            }
+        }
+        assert_eq!(n.counters().duplicated, 50);
+    }
+
+    #[test]
+    fn per_link_override_beats_default() {
+        let mut n = net(DelayModel::Fixed(SimDuration::from_millis(5)));
+        let e = env(0);
+        n.set_link_delay(LinkKey::of(&e), DelayModel::Fixed(SimDuration::from_millis(1)));
+        match n.route(SimTime::ZERO, &e) {
+            RouteDecision::Deliver { at, .. } => assert_eq!(at, SimTime::from_nanos(1_000_000)),
+            RouteDecision::Dropped => panic!("unexpected drop"),
+        }
+        assert_eq!(n.tmin(), SimDuration::from_millis(1));
+        assert_eq!(n.tmax(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn counters_track_sends() {
+        let mut n = net(DelayModel::Fixed(SimDuration::ZERO));
+        for i in 0..5 {
+            n.route(SimTime::ZERO, &env(i));
+        }
+        let c = n.counters();
+        assert_eq!(c.sent, 5);
+        assert_eq!(c.delivered, 5);
+        assert_eq!(c.dropped, 0);
+    }
+}

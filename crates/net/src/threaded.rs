@@ -1,0 +1,286 @@
+//! A threaded, real-time transport for the middleware runtime.
+//!
+//! Envelopes are delivered by a dedicated delivery thread after a sampled
+//! real-time delay, preserving per-link FIFO order — the same contract as
+//! [`SimNetwork`](crate::SimNetwork), but on the wall clock.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::Rng;
+use synergy_des::DetRng;
+
+use crate::message::{Endpoint, Envelope};
+use crate::sim::LinkKey;
+
+struct Pending {
+    at: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Shared {
+    queue: Mutex<State>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+struct State {
+    heap: BinaryHeap<Reverse<Pending>>,
+    endpoints: HashMap<Endpoint, Sender<Envelope>>,
+    fifo_floor: HashMap<LinkKey, Instant>,
+    next_seq: u64,
+}
+
+/// A real-time in-process transport built on crossbeam channels.
+///
+/// # Example
+///
+/// ```rust
+/// use std::time::Duration;
+/// use synergy_net::threaded::ThreadedNet;
+/// use synergy_net::{Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
+///
+/// let net = ThreadedNet::new(Duration::from_micros(50)..Duration::from_micros(200), 1);
+/// let rx = net.register(ProcessId(2).into());
+/// net.send(Envelope::new(
+///     MsgId { from: ProcessId(1), seq: MsgSeqNo(0) },
+///     ProcessId(2),
+///     MessageBody::Application { payload: vec![42], dirty: false },
+/// ));
+/// let got = rx.recv_timeout(Duration::from_secs(1)).expect("delivered");
+/// assert_eq!(got.id.seq, MsgSeqNo(0));
+/// net.shutdown();
+/// ```
+pub struct ThreadedNet {
+    shared: Arc<Shared>,
+    rng: Mutex<DetRng>,
+    delay: std::ops::Range<Duration>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ThreadedNet {
+    /// Creates the transport and spawns its delivery thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay range is empty or inverted.
+    pub fn new(delay: std::ops::Range<Duration>, seed: u64) -> Self {
+        assert!(delay.start <= delay.end, "inverted delay range");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                endpoints: HashMap::new(),
+                fifo_floor: HashMap::new(),
+                next_seq: 0,
+            }),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("synergy-net-delivery".into())
+            .spawn(move || delivery_loop(worker_shared))
+            .expect("spawn delivery thread");
+        ThreadedNet {
+            shared,
+            rng: Mutex::new(DetRng::new(seed).stream("threaded-net")),
+            delay,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Registers an endpoint and returns its delivery channel.
+    ///
+    /// Re-registering an endpoint replaces the previous channel (the old
+    /// receiver stops seeing new messages).
+    pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        let mut state = self.shared.queue.lock().expect("net lock");
+        state.endpoints.insert(endpoint, tx);
+        rx
+    }
+
+    /// Enqueues `envelope` for delayed delivery.
+    ///
+    /// Messages to unregistered endpoints are dropped at delivery time, like
+    /// datagrams to a closed port.
+    pub fn send(&self, envelope: Envelope) {
+        let delay = {
+            let mut rng = self.rng.lock().expect("rng lock");
+            if self.delay.start == self.delay.end {
+                self.delay.start
+            } else {
+                let ns = rng.gen_range(self.delay.start.as_nanos()..self.delay.end.as_nanos());
+                Duration::from_nanos(ns as u64)
+            }
+        };
+        let link = LinkKey::of(&envelope);
+        let mut state = self.shared.queue.lock().expect("net lock");
+        let natural = Instant::now() + delay;
+        let at = state
+            .fifo_floor
+            .get(&link)
+            .map_or(natural, |floor| natural.max(*floor));
+        state.fifo_floor.insert(link, at);
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Reverse(Pending {
+            at,
+            seq,
+            env: envelope,
+        }));
+        drop(state);
+        self.shared.wakeup.notify_one();
+    }
+
+    /// Stops the delivery thread, dropping any undelivered messages. Safe to
+    /// call more than once; also invoked on drop.
+    pub fn shutdown(&self) {
+        {
+            // Setting the flag under the queue lock guarantees the delivery
+            // thread is either before its shutdown check (it will see the
+            // flag) or already in `wait` (it will receive the notify) — never
+            // between the two, which would lose the wakeup.
+            let _guard = self.shared.queue.lock().expect("net lock");
+            self.shared.shutdown.store(true, AtomicOrdering::SeqCst);
+        }
+        self.shared.wakeup.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn delivery_loop(shared: Arc<Shared>) {
+    let mut state = shared.queue.lock().expect("net lock");
+    loop {
+        if shared.shutdown.load(AtomicOrdering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while let Some(Reverse(p)) = state.heap.peek() {
+            if p.at > now {
+                break;
+            }
+            let Reverse(p) = state.heap.pop().expect("peeked entry exists");
+            if let Some(tx) = state.endpoints.get(&p.env.to) {
+                // A closed receiver is indistinguishable from a crashed node;
+                // drop silently.
+                let _ = tx.send(p.env);
+            }
+        }
+        let wait = state
+            .heap
+            .peek()
+            .map(|Reverse(p)| p.at.saturating_duration_since(Instant::now()));
+        state = match wait {
+            Some(d) if d > Duration::ZERO => {
+                shared
+                    .wakeup
+                    .wait_timeout(state, d)
+                    .expect("net lock")
+                    .0
+            }
+            Some(_) => state, // something due immediately: loop again
+            None => shared.wakeup.wait(state).expect("net lock"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MessageBody, MsgId, MsgSeqNo, ProcessId};
+
+    fn env(seq: u64, payload: u8) -> Envelope {
+        Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(seq),
+            },
+            ProcessId(2),
+            MessageBody::Application {
+                payload: vec![payload],
+                dirty: false,
+            },
+        )
+    }
+
+    #[test]
+    fn delivers_in_fifo_order_per_link() {
+        let net = ThreadedNet::new(Duration::from_micros(10)..Duration::from_millis(2), 3);
+        let rx = net.register(ProcessId(2).into());
+        for i in 0..50 {
+            net.send(env(i, i as u8));
+        }
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got.push(
+                rx.recv_timeout(Duration::from_secs(2))
+                    .expect("delivery within timeout")
+                    .id
+                    .seq
+                    .0,
+            );
+        }
+        let sorted: Vec<u64> = (0..50).collect();
+        assert_eq!(got, sorted);
+        net.shutdown();
+    }
+
+    #[test]
+    fn unregistered_endpoint_drops_messages() {
+        let net = ThreadedNet::new(Duration::from_micros(1)..Duration::from_micros(2), 0);
+        // No registration for P2: send must not panic or block.
+        net.send(env(0, 0));
+        std::thread::sleep(Duration::from_millis(20));
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let net = ThreadedNet::new(Duration::from_micros(1)..Duration::from_micros(2), 0);
+        net.shutdown();
+        net.shutdown();
+    }
+
+    #[test]
+    fn zero_width_delay_range_works() {
+        let net = ThreadedNet::new(Duration::from_micros(5)..Duration::from_micros(5), 0);
+        let rx = net.register(ProcessId(2).into());
+        net.send(env(0, 9));
+        let got = rx.recv_timeout(Duration::from_secs(1)).expect("delivered");
+        assert_eq!(got.id.seq.0, 0);
+        net.shutdown();
+    }
+}

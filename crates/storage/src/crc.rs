@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3) for checkpoint integrity.
+
+/// Computes the CRC-32/ISO-HDLC checksum of `data` (the one used by zip,
+/// Ethernet, PNG).
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_storage::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let original = b"checkpoint state bytes".to_vec();
+        let base = crc32(&original);
+        for bit in 0..original.len() * 8 {
+            let mut corrupted = original.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&corrupted), base, "undetected flip at bit {bit}");
+        }
+    }
+
+    #[test]
+    fn differs_for_reordered_bytes() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Disk latency model.
+
+use synergy_des::SimDuration;
+
+/// A simple affine disk-write cost model: `base + per_kib * ceil(bytes/1024)`.
+///
+/// The TB protocol overlaps its blocking period with the stable write, so
+/// write duration matters for overhead accounting (how long a process is
+/// blocked in practice), not for protocol correctness.
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_des::SimDuration;
+/// use synergy_storage::DiskModel;
+///
+/// let disk = DiskModel::new(SimDuration::from_millis(5), SimDuration::from_micros(10));
+/// assert_eq!(disk.write_duration(0), SimDuration::from_millis(5));
+/// assert_eq!(
+///     disk.write_duration(2048),
+///     SimDuration::from_millis(5) + SimDuration::from_micros(20)
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskModel {
+    base: SimDuration,
+    per_kib: SimDuration,
+}
+
+impl DiskModel {
+    /// Creates a model with a fixed seek/sync cost and a per-KiB transfer
+    /// cost.
+    pub fn new(base: SimDuration, per_kib: SimDuration) -> Self {
+        DiskModel { base, per_kib }
+    }
+
+    /// A year-2000 commodity disk: ~8 ms seek+sync, ~50 µs per KiB.
+    pub fn commodity() -> Self {
+        DiskModel::new(SimDuration::from_millis(8), SimDuration::from_micros(50))
+    }
+
+    /// An instantaneous disk (for tests isolating protocol logic).
+    pub fn instant() -> Self {
+        DiskModel::new(SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// How long writing `bytes` takes.
+    pub fn write_duration(&self, bytes: usize) -> SimDuration {
+        let kib = (bytes as u64).div_ceil(1024);
+        self.base + self.per_kib * kib
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel::commodity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_costs_base_only() {
+        let d = DiskModel::new(SimDuration::from_millis(1), SimDuration::from_micros(100));
+        assert_eq!(d.write_duration(0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn partial_kib_rounds_up() {
+        let d = DiskModel::new(SimDuration::ZERO, SimDuration::from_micros(100));
+        assert_eq!(d.write_duration(1), SimDuration::from_micros(100));
+        assert_eq!(d.write_duration(1024), SimDuration::from_micros(100));
+        assert_eq!(d.write_duration(1025), SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn instant_disk_is_free() {
+        assert_eq!(DiskModel::instant().write_duration(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn commodity_is_monotone_in_size() {
+        let d = DiskModel::commodity();
+        assert!(d.write_duration(10_000) < d.write_duration(100_000));
+    }
+}

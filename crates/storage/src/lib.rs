@@ -1,0 +1,29 @@
+//! Volatile and stable checkpoint storage for `synergy-ft`.
+//!
+//! The MDCD protocol keeps (at most) one checkpoint per process in *volatile*
+//! storage; the TB protocol persists checkpoints to *stable* storage that
+//! survives a node crash. The adapted TB protocol additionally needs a stable
+//! write that can be **aborted mid-flight and replaced** with different
+//! contents when a `passed_AT` notification lands inside the blocking period
+//! (paper §4.2, `write_disk(initial, expected_bit, alternative)`).
+//!
+//! Because no serialization *format* crate is available offline, this crate
+//! ships its own compact little-endian binary serde format ([`codec`]),
+//! protected by a CRC-32 in every [`Checkpoint`] record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+
+mod checkpoint;
+mod crc;
+mod latency;
+mod stable;
+mod volatile;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use crc::crc32;
+pub use latency::DiskModel;
+pub use stable::{StableStats, StableStore, StableWriteError};
+pub use volatile::VolatileStore;

@@ -1,0 +1,317 @@
+//! Stable (disk) checkpoint storage with abortable two-phase writes.
+
+use core::fmt;
+
+use crate::checkpoint::Checkpoint;
+
+/// Errors from stable-store write sequencing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StableWriteError {
+    /// `begin_write` was called while another write was in progress.
+    WriteAlreadyInProgress,
+    /// `replace_in_progress` or `commit_write` was called with no write in
+    /// progress.
+    NoWriteInProgress,
+}
+
+impl fmt::Display for StableWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StableWriteError::WriteAlreadyInProgress => {
+                write!(f, "a stable write is already in progress")
+            }
+            StableWriteError::NoWriteInProgress => write!(f, "no stable write in progress"),
+        }
+    }
+}
+
+impl std::error::Error for StableWriteError {}
+
+/// Statistics kept by a [`StableStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StableStats {
+    /// Completed (committed) writes.
+    pub commits: u64,
+    /// Mid-flight content replacements (adapted TB's abort-and-replace).
+    pub replacements: u64,
+    /// Writes lost to a crash before committing.
+    pub torn_writes: u64,
+}
+
+/// One process's stable checkpoint store.
+///
+/// Stable storage survives node crashes; only *committed* contents do. The
+/// adapted TB protocol starts a write when the checkpointing timer expires,
+/// may **replace** the in-flight contents if a `passed_AT` notification
+/// clears the dirty bit during the blocking period (paper Fig. 5/6), and
+/// commits at the end of the blocking period.
+///
+/// The store retains a short history of committed checkpoints (not just the
+/// newest): a crash can tear one process's in-flight write while its peers
+/// commit theirs, in which case global recovery must roll everyone back to
+/// the last checkpoint sequence number committed *by all* processes — which
+/// for the torn process is not its newest record.
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_des::SimTime;
+/// use synergy_storage::{Checkpoint, StableStore};
+///
+/// let mut disk = StableStore::new();
+/// disk.begin_write(Checkpoint::encode(1, SimTime::ZERO, "copy-of-ram", &1u8)?)?;
+/// // ... a passed_AT arrives inside the blocking period:
+/// disk.replace_in_progress(Checkpoint::encode(1, SimTime::ZERO, "current-state", &2u8)?)?;
+/// disk.commit_write()?;
+/// assert_eq!(disk.latest().unwrap().decode::<u8>()?, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct StableStore {
+    committed: Vec<Checkpoint>,
+    in_progress: Option<Checkpoint>,
+    stats: StableStats,
+    retain: usize,
+}
+
+impl Default for StableStore {
+    fn default() -> Self {
+        StableStore::new()
+    }
+}
+
+impl StableStore {
+    /// Creates an empty store retaining the last 8 committed checkpoints.
+    pub fn new() -> Self {
+        StableStore::with_retention(8)
+    }
+
+    /// Creates an empty store retaining the last `retain` committed
+    /// checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn with_retention(retain: usize) -> Self {
+        assert!(retain > 0, "must retain at least one checkpoint");
+        StableStore {
+            committed: Vec::new(),
+            in_progress: None,
+            stats: StableStats::default(),
+            retain,
+        }
+    }
+
+    /// Begins a two-phase write of `checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::WriteAlreadyInProgress`] if a previous
+    /// write has not been committed or lost to a crash.
+    pub fn begin_write(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        if self.in_progress.is_some() {
+            return Err(StableWriteError::WriteAlreadyInProgress);
+        }
+        self.in_progress = Some(checkpoint);
+        Ok(())
+    }
+
+    /// Aborts the in-flight contents and restarts the write with
+    /// `checkpoint` (the `write_disk` third-argument semantics of the
+    /// adapted TB algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::NoWriteInProgress`] if nothing is being
+    /// written.
+    pub fn replace_in_progress(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        if self.in_progress.is_none() {
+            return Err(StableWriteError::NoWriteInProgress);
+        }
+        self.in_progress = Some(checkpoint);
+        self.stats.replacements += 1;
+        Ok(())
+    }
+
+    /// Atomically publishes the in-flight write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::NoWriteInProgress`] if nothing is being
+    /// written.
+    pub fn commit_write(&mut self) -> Result<&Checkpoint, StableWriteError> {
+        let ckpt = self
+            .in_progress
+            .take()
+            .ok_or(StableWriteError::NoWriteInProgress)?;
+        self.committed.push(ckpt);
+        if self.committed.len() > self.retain {
+            let excess = self.committed.len() - self.retain;
+            self.committed.drain(..excess);
+        }
+        self.stats.commits += 1;
+        Ok(self.committed.last().expect("just committed"))
+    }
+
+    /// Whether a write is currently in progress.
+    pub fn is_writing(&self) -> bool {
+        self.in_progress.is_some()
+    }
+
+    /// The in-flight (not yet durable) checkpoint, if any.
+    pub fn in_progress(&self) -> Option<&Checkpoint> {
+        self.in_progress.as_ref()
+    }
+
+    /// The most recent *committed* checkpoint.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.committed.last()
+    }
+
+    /// Clones the most recent committed checkpoint.
+    pub fn latest_cloned(&self) -> Option<Checkpoint> {
+        self.committed.last().cloned()
+    }
+
+    /// The committed checkpoint with sequence number `seq`, if retained.
+    pub fn by_seq(&self, seq: u64) -> Option<&Checkpoint> {
+        self.committed.iter().rev().find(|c| c.seq() == seq)
+    }
+
+    /// The newest committed checkpoint with sequence number `<= seq` — the
+    /// record global recovery selects when rolling back to the last epoch
+    /// committed by every process.
+    pub fn latest_at_or_before(&self, seq: u64) -> Option<&Checkpoint> {
+        self.committed.iter().rev().find(|c| c.seq() <= seq)
+    }
+
+    /// Write statistics.
+    pub fn stats(&self) -> StableStats {
+        self.stats
+    }
+
+    /// Simulates a node crash: committed checkpoints survive, any in-flight
+    /// write is torn and discarded.
+    pub fn crash(&mut self) {
+        if self.in_progress.take().is_some() {
+            self.stats.torn_writes += 1;
+        }
+    }
+
+    /// Abandons an in-flight write without committing it (global recovery
+    /// supersedes whatever checkpoint establishment was in progress).
+    /// Returns whether a write was abandoned. Unlike [`crash`](Self::crash)
+    /// this does not count as a torn write.
+    pub fn abort_write(&mut self) -> bool {
+        self.in_progress.take().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_des::SimTime;
+
+    fn ckpt(seq: u64) -> Checkpoint {
+        Checkpoint::encode(seq, SimTime::from_nanos(seq), "t", &seq).unwrap()
+    }
+
+    #[test]
+    fn two_phase_write_commits() {
+        let mut s = StableStore::new();
+        s.begin_write(ckpt(1)).unwrap();
+        assert!(s.is_writing());
+        assert!(s.latest().is_none(), "not durable until committed");
+        s.commit_write().unwrap();
+        assert!(!s.is_writing());
+        assert_eq!(s.latest().unwrap().seq(), 1);
+        assert_eq!(s.stats().commits, 1);
+    }
+
+    #[test]
+    fn replace_in_flight_contents() {
+        let mut s = StableStore::new();
+        s.begin_write(ckpt(1)).unwrap();
+        s.replace_in_progress(ckpt(2)).unwrap();
+        s.commit_write().unwrap();
+        assert_eq!(s.latest().unwrap().seq(), 2);
+        assert_eq!(s.stats().replacements, 1);
+    }
+
+    #[test]
+    fn crash_tears_in_flight_write_keeps_committed() {
+        let mut s = StableStore::new();
+        s.begin_write(ckpt(1)).unwrap();
+        s.commit_write().unwrap();
+        s.begin_write(ckpt(2)).unwrap();
+        s.crash();
+        assert_eq!(s.latest().unwrap().seq(), 1, "old checkpoint survives");
+        assert!(!s.is_writing());
+        assert_eq!(s.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn overlapping_writes_rejected() {
+        let mut s = StableStore::new();
+        s.begin_write(ckpt(1)).unwrap();
+        assert_eq!(
+            s.begin_write(ckpt(2)),
+            Err(StableWriteError::WriteAlreadyInProgress)
+        );
+    }
+
+    #[test]
+    fn commit_without_begin_rejected() {
+        let mut s = StableStore::new();
+        assert!(matches!(
+            s.commit_write(),
+            Err(StableWriteError::NoWriteInProgress)
+        ));
+        assert_eq!(
+            s.replace_in_progress(ckpt(0)),
+            Err(StableWriteError::NoWriteInProgress)
+        );
+    }
+
+    #[test]
+    fn crash_on_idle_store_is_harmless() {
+        let mut s = StableStore::new();
+        s.crash();
+        assert!(s.latest().is_none());
+        assert_eq!(s.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn history_is_retained_and_addressable() {
+        let mut s = StableStore::new();
+        for seq in 1..=3 {
+            s.begin_write(ckpt(seq)).unwrap();
+            s.commit_write().unwrap();
+        }
+        assert_eq!(s.latest().unwrap().seq(), 3);
+        assert_eq!(s.by_seq(2).unwrap().seq(), 2);
+        assert!(s.by_seq(9).is_none());
+        assert_eq!(s.latest_at_or_before(2).unwrap().seq(), 2);
+        assert_eq!(s.latest_at_or_before(99).unwrap().seq(), 3);
+        assert!(s.latest_at_or_before(0).is_none());
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut s = StableStore::with_retention(2);
+        for seq in 1..=4 {
+            s.begin_write(ckpt(seq)).unwrap();
+            s.commit_write().unwrap();
+        }
+        assert!(s.by_seq(1).is_none());
+        assert!(s.by_seq(2).is_none());
+        assert_eq!(s.by_seq(3).unwrap().seq(), 3);
+        assert_eq!(s.latest().unwrap().seq(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checkpoint")]
+    fn zero_retention_rejected() {
+        StableStore::with_retention(0);
+    }
+}

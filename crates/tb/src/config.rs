@@ -1,0 +1,137 @@
+//! TB protocol configuration.
+
+use synergy_clocks::SyncParams;
+use synergy_des::SimDuration;
+
+/// Which TB algorithm a process runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TbVariant {
+    /// The protocol as published by Neves & Fuchs: current state always,
+    /// blocking `δ + 2ρτ − tmin`, all messages blocked.
+    Original,
+    /// The adapted protocol of the DSN 2001 paper: dirty-bit–dependent
+    /// contents, blocking `δ + 2ρτ + Tm(b)`, `passed_AT` monitored during
+    /// blocking with abort-and-replace.
+    Adapted,
+}
+
+/// Static parameters of the TB protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TbConfig {
+    /// Algorithm variant.
+    pub variant: TbVariant,
+    /// `Δ` — the checkpointing interval on the local clock.
+    pub interval: SimDuration,
+    /// Clock synchronization quality (`δ`, `ρ`).
+    pub sync: SyncParams,
+    /// Minimum message-delivery delay (`tmin`).
+    pub tmin: SimDuration,
+    /// Maximum message-delivery delay (`tmax`).
+    pub tmax: SimDuration,
+    /// Request a timer resynchronization when the worst-case blocking period
+    /// of the *next* interval would exceed this fraction of `Δ`. The paper's
+    /// `createCKPT` requests resynchronization once accumulated drift makes
+    /// blocking periods too long relative to the interval; 0.25 keeps
+    /// blocking below a quarter of the interval.
+    pub resync_threshold: f64,
+}
+
+impl TbConfig {
+    /// Creates a configuration, validating parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero, `tmin > tmax`, or `resync_threshold`
+    /// is outside `(0, 1]`.
+    pub fn new(
+        variant: TbVariant,
+        interval: SimDuration,
+        sync: SyncParams,
+        tmin: SimDuration,
+        tmax: SimDuration,
+    ) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        assert!(tmin <= tmax, "tmin must not exceed tmax");
+        TbConfig {
+            variant,
+            interval,
+            sync,
+            tmin,
+            tmax,
+            resync_threshold: 0.25,
+        }
+    }
+
+    /// Overrides the resynchronization threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `(0, 1]`.
+    pub fn with_resync_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "resync threshold out of range: {threshold}"
+        );
+        self.resync_threshold = threshold;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync() -> SyncParams {
+        SyncParams::new(SimDuration::from_micros(100), 1e-4)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let c = TbConfig::new(
+            TbVariant::Adapted,
+            SimDuration::from_secs(1),
+            sync(),
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(2),
+        );
+        assert_eq!(c.variant, TbVariant::Adapted);
+        assert_eq!(c.resync_threshold, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        TbConfig::new(
+            TbVariant::Original,
+            SimDuration::ZERO,
+            sync(),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tmin must not exceed tmax")]
+    fn inverted_delays_rejected() {
+        TbConfig::new(
+            TbVariant::Original,
+            SimDuration::from_secs(1),
+            sync(),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resync threshold out of range")]
+    fn bad_threshold_rejected() {
+        TbConfig::new(
+            TbVariant::Original,
+            SimDuration::from_secs(1),
+            sync(),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        )
+        .with_resync_threshold(0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Distributed recovery blocks for industrial process control — the second
+//! application pattern the paper names (§2.1, citing Kim's DRB and the
+//! Hecht et al. nuclear-plant architecture).
+//!
+//! A better-performance, less-reliable control routine runs as the primary
+//! (`P1act`) while a slower, well-proven routine escorts it (`P1sdw`). The
+//! plant-interface component (`P2`) turns their outputs into actuator
+//! commands. We compare the protocol-coordination scheme against the
+//! write-through baseline on the same fault schedule and report the
+//! rollback distance each would suffer from a controller-board failure.
+//!
+//! ```text
+//! cargo run --release -p synergy --example process_control
+//! ```
+
+use synergy::{Mission, Scheme, SystemConfig};
+use synergy_des::Summary;
+
+fn rollback_distance(scheme: Scheme, seeds: u64) -> Summary {
+    let mut s = Summary::new();
+    for seed in 0..seeds {
+        let outcome = Mission::new(
+            SystemConfig::builder()
+                .scheme(scheme)
+                .seed(seed)
+                .duration_secs(600.0)
+                // Sensor-driven control messages are sparse; actuator
+                // commands (validated by reasonableness checks on setpoints)
+                // are comparatively frequent.
+                .internal_rate_per_min(1.0)
+                .external_rate_per_min(4.0)
+                .tb_interval_secs(2.0)
+                .hardware_fault_at_secs(380.0 + 11.0 * seed as f64)
+                .trace(false)
+                .build(),
+        )
+        .run();
+        // The write-through baseline has a rare recoverability gap (see
+        // EXPERIMENTS.md); validity must hold for both schemes.
+        assert!(
+            outcome.verdicts.of("validity-self").is_empty(),
+            "{:?}",
+            outcome.verdicts.violations
+        );
+        if scheme == Scheme::Coordinated {
+            assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        }
+        s.extend(outcome.metrics.hardware_rollback_distances());
+    }
+    s
+}
+
+fn main() {
+    println!("== DRB-style process control: controller-board failure impact ==\n");
+    let co = rollback_distance(Scheme::Coordinated, 10);
+    let wt = rollback_distance(Scheme::WriteThrough, 10);
+    println!("protocol coordination: {co}");
+    println!("write-through baseline: {wt}");
+    println!(
+        "\nmean control computation lost per failure: {:.2}s vs {:.2}s ({:.1}x better)",
+        co.mean(),
+        wt.mean(),
+        wt.mean() / co.mean().max(1e-9)
+    );
+    assert!(
+        co.mean() < wt.mean(),
+        "coordination must lose less computation in this regime"
+    );
+    println!("every run passed the validity-concerned consistency and recoverability checks");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run one guarded mission under the coordinated scheme, inject
+//! a software and a hardware fault, and inspect the outcome.
+//!
+//! ```text
+//! cargo run --release -p synergy --example quickstart
+//! ```
+
+use synergy::{Mission, Scheme, SystemConfig};
+
+fn main() {
+    // A 3-node guarded system: P1act (low-confidence upgrade) escorted by
+    // P1sdw, interacting with P2. Modified MDCD handles software faults in
+    // volatile storage; the adapted TB protocol persists coordinated
+    // checkpoints every 5 seconds.
+    let config = SystemConfig::builder()
+        .scheme(Scheme::Coordinated)
+        .seed(2024)
+        .duration_secs(180.0)
+        .internal_rate_per_min(30.0) // component chatter
+        .external_rate_per_min(4.0) // acceptance-tested device commands
+        .tb_interval_secs(5.0)
+        .software_fault_at_secs(60.0) // the upgrade misbehaves...
+        .hardware_fault_at_secs(120.0) // ...and later a node crashes
+        .build();
+
+    let outcome = Mission::new(config).run();
+
+    println!("== synergy-ft quickstart ==");
+    println!(
+        "software recoveries: {} (shadow promoted: {})",
+        outcome.metrics.software_recoveries, outcome.shadow_promoted
+    );
+    println!("hardware recoveries: {}", outcome.metrics.hardware_recoveries);
+    println!(
+        "volatile checkpoints: {} type-1, {} pseudo, {} type-2",
+        outcome.metrics.type1_ckpts, outcome.metrics.pseudo_ckpts, outcome.metrics.type2_ckpts
+    );
+    println!(
+        "stable checkpoints:   {} committed, {} replaced in-flight",
+        outcome.metrics.stable_commits, outcome.metrics.stable_replacements
+    );
+    println!(
+        "acceptance tests:     {} run, {} failed",
+        outcome.metrics.at_runs, outcome.metrics.at_failures
+    );
+    println!("device messages:      {}", outcome.device_messages);
+    for r in &outcome.metrics.rollbacks {
+        println!(
+            "  {:?} recovery at {}: {} {} ({:.3}s undone)",
+            r.cause,
+            r.at,
+            synergy::system::process_name(r.process),
+            r.decision,
+            r.distance_secs
+        );
+    }
+    println!(
+        "global-state checks:  {} run, all hold: {}",
+        outcome.verdicts.checks_run,
+        outcome.verdicts.all_hold()
+    );
+    assert!(outcome.verdicts.all_hold(), "invariants must hold");
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over randomized workloads, fault schedules and
+//! protocol parameters.
+
+use proptest::prelude::*;
+use synergy::{Mission, Scheme, SystemConfig};
+use synergy_storage::codec::{from_bytes, to_bytes};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline theorem: under the coordinated scheme, any combination
+    /// of workload, one software fault and one hardware fault preserves
+    /// validity-concerned global consistency and recoverability.
+    #[test]
+    fn coordinated_scheme_invariants_hold(
+        seed in 0u64..10_000,
+        internal_per_min in 0.5f64..90.0,
+        external_per_min in 0.5f64..8.0,
+        tb_interval in 1.0f64..20.0,
+        hw_at in 20.0f64..200.0,
+        sw_at in proptest::option::of(20.0f64..200.0),
+    ) {
+        let mut builder = SystemConfig::builder()
+            .scheme(Scheme::Coordinated)
+            .seed(seed)
+            .duration_secs(240.0)
+            .internal_rate_per_min(internal_per_min)
+            .external_rate_per_min(external_per_min)
+            .tb_interval_secs(tb_interval)
+            .hardware_fault_at_secs(hw_at)
+            .trace(false);
+        if let Some(at) = sw_at {
+            builder = builder.software_fault_at_secs(at);
+        }
+        let outcome = Mission::new(builder.build()).run();
+        prop_assert!(
+            outcome.verdicts.all_hold(),
+            "violations: {:?}",
+            outcome.verdicts.violations
+        );
+        prop_assert!(outcome.metrics.hardware_recoveries >= 1);
+    }
+
+    /// Crashing any node at any time is survivable and every rollback
+    /// distance is non-negative and bounded by the fault time.
+    #[test]
+    fn any_node_crash_is_survivable(
+        seed in 0u64..1_000,
+        node in 0usize..3,
+        hw_at in 10.0f64..110.0,
+    ) {
+        let outcome = Mission::new(
+            SystemConfig::builder()
+                .scheme(Scheme::Coordinated)
+                .seed(seed)
+                .duration_secs(120.0)
+                .internal_rate_per_min(30.0)
+                .external_rate_per_min(4.0)
+                .tb_interval_secs(5.0)
+                .hardware_fault(synergy::HardwareFault {
+                    at: synergy_des::SimTime::from_secs_f64(hw_at),
+                    node,
+                })
+                .trace(false)
+                .build(),
+        )
+        .run();
+        prop_assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+        for d in outcome.metrics.hardware_rollback_distances() {
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= hw_at + 1.0, "distance {d} exceeds fault time {hw_at}");
+        }
+    }
+
+    /// Missions are replay-deterministic in every observable counter.
+    #[test]
+    fn missions_are_deterministic(seed in 0u64..500, sw_at in 20.0f64..100.0) {
+        let run = || {
+            let o = Mission::new(
+                SystemConfig::builder()
+                    .scheme(Scheme::Coordinated)
+                    .seed(seed)
+                    .duration_secs(120.0)
+                    .internal_rate_per_min(20.0)
+                    .external_rate_per_min(3.0)
+                    .software_fault_at_secs(sw_at)
+                    .trace(false)
+                    .build(),
+            )
+            .run();
+            (
+                o.metrics.messages_sent,
+                o.metrics.messages_delivered,
+                o.metrics.stable_commits,
+                o.metrics.software_recoveries,
+                o.device_messages,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// The binary codec round-trips arbitrary nested data.
+    #[test]
+    fn codec_roundtrips_nested_data(
+        v in proptest::collection::vec(
+            (any::<String>(), any::<u64>(), proptest::option::of(any::<i32>()),
+             proptest::collection::vec(any::<u8>(), 0..32)),
+            0..16,
+        )
+    ) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: Vec<(String, u64, Option<i32>, Vec<u8>)> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Decoding arbitrary bytes as a structured type never panics — it
+    /// either succeeds or errors.
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Vec<(String, u64)>>(&bytes);
+        let _ = from_bytes::<Option<Vec<bool>>>(&bytes);
+        let _ = from_bytes::<(u8, u16, u32, u64)>(&bytes);
+    }
+
+    /// CRC-verified checkpoints detect arbitrary single-bit corruption.
+    #[test]
+    fn checkpoint_corruption_is_detected(
+        counter in any::<u64>(),
+        label in any::<String>(),
+        bit in 0usize..512,
+    ) {
+        let mut ckpt = synergy_storage::Checkpoint::encode(
+            1,
+            synergy_des::SimTime::ZERO,
+            label,
+            &(counter, vec![counter; 4]),
+        )
+        .unwrap();
+        ckpt.corrupt_bit(bit);
+        prop_assert!(ckpt.decode::<(u64, Vec<u64>)>().is_err());
+    }
+
+    /// Clock fleets never exceed their advertised deviation bound, at any
+    /// time, with or without resynchronization.
+    #[test]
+    fn clock_deviation_bound_holds(
+        seed in any::<u64>(),
+        delta_us in 1u64..2_000,
+        rho_ppm in 0u64..500,
+        probe_secs in 0.0f64..500.0,
+        resync_at in proptest::option::of(0.0f64..400.0),
+    ) {
+        use synergy_clocks::{ClockFleet, SyncParams};
+        use synergy_des::{DetRng, SimDuration, SimTime};
+        let params = SyncParams::new(
+            SimDuration::from_micros(delta_us),
+            rho_ppm as f64 * 1e-6,
+        );
+        let mut fleet = ClockFleet::generate(3, params, &DetRng::new(seed));
+        if let Some(at) = resync_at {
+            if at < probe_secs {
+                fleet.resync_all(SimTime::from_secs_f64(at));
+            }
+        }
+        let t = SimTime::from_secs_f64(probe_secs);
+        prop_assert!(fleet.max_pairwise_deviation(t) <= fleet.deviation_bound_at(t));
+    }
+}
