@@ -2,8 +2,14 @@
 //! sweep point, so `cargo bench` exercises every table/figure pipeline and
 //! prints a compact summary of the experiment outputs alongside the timing
 //! numbers.
+//!
+//! A plain timing harness (`harness = false`): each configuration runs a
+//! small number of full missions and reports the mean wall-clock per
+//! mission.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use synergy::{Mission, Scheme, SystemConfig};
 use synergy_bench::{rollback_distances, Fig7Params};
 
@@ -23,31 +29,29 @@ fn mission(scheme: Scheme, seed: u64) -> synergy::MissionOutcome {
     .run()
 }
 
-fn bench_missions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mission_120s");
-    group.sample_size(10);
+fn bench_missions() {
     for scheme in [
         Scheme::Coordinated,
         Scheme::WriteThrough,
         Scheme::Naive,
         Scheme::MdcdOnly,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{scheme:?}")),
-            &scheme,
-            |b, &scheme| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(mission(scheme, seed))
-                })
-            },
-        );
+        let samples = 10u64;
+        let mut seed = 0u64;
+        // warm-up
+        seed += 1;
+        black_box(mission(scheme, seed));
+        let start = Instant::now();
+        for _ in 0..samples {
+            seed += 1;
+            black_box(mission(scheme, seed));
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+        println!("mission_120s/{scheme:?}: {ms:.2} ms/mission ({samples} samples)");
     }
-    group.finish();
 }
 
-fn bench_fig7_point(c: &mut Criterion) {
+fn bench_fig7_point() {
     // One sweep point with few seeds: times the experiment pipeline and
     // prints the measured means so bench logs double as experiment records.
     let params = Fig7Params {
@@ -63,13 +67,17 @@ fn bench_fig7_point(c: &mut Criterion) {
         co.mean(),
         wt.mean()
     );
-    let mut group = c.benchmark_group("fig7_sweep_point");
-    group.sample_size(10);
-    group.bench_function("coordinated_120_per_hour", |b| {
-        b.iter(|| black_box(rollback_distances(Scheme::Coordinated, 120.0, params)))
-    });
-    group.finish();
+    let samples = 10u64;
+    black_box(rollback_distances(Scheme::Coordinated, 120.0, params));
+    let start = Instant::now();
+    for _ in 0..samples {
+        black_box(rollback_distances(Scheme::Coordinated, 120.0, params));
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
+    println!("fig7_sweep_point/coordinated_120_per_hour: {ms:.2} ms/run ({samples} samples)");
 }
 
-criterion_group!(benches, bench_missions, bench_fig7_point);
-criterion_main!(benches);
+fn main() {
+    bench_missions();
+    bench_fig7_point();
+}

@@ -10,12 +10,12 @@
 //! ```
 
 use synergy::{Mission, Scheme, SystemConfig};
-use synergy_bench::render_table;
+use synergy_bench::{par_seed_map, render_table};
 use synergy_des::Summary;
 
 fn distances(scheme: Scheme, delta: f64, ext_per_min: f64, int_per_min: f64) -> Summary {
-    let mut s = Summary::new();
-    for seed in 0..12u64 {
+    let seeds: Vec<u64> = (0..12).collect();
+    let per_seed = par_seed_map(&seeds, |seed| {
         let fault = 300.0 + 37.0 * (seed as f64 % 5.0);
         let o = Mission::new(
             SystemConfig::builder()
@@ -30,7 +30,11 @@ fn distances(scheme: Scheme, delta: f64, ext_per_min: f64, int_per_min: f64) -> 
                 .build(),
         )
         .run();
-        s.extend(o.metrics.hardware_rollback_distances());
+        o.metrics.hardware_rollback_distances()
+    });
+    let mut s = Summary::new();
+    for d in per_seed {
+        s.extend(d);
     }
     s
 }
@@ -97,10 +101,7 @@ fn main() {
             format!("{int_rate:.0}"),
             format!("{}", m.blocking_periods),
             format!("{:.2}", m.blocking_total.as_secs_f64() * 1e3),
-            format!(
-                "{:.4}%",
-                100.0 * m.blocking_total.as_secs_f64() / 300.0
-            ),
+            format!("{:.4}%", 100.0 * m.blocking_total.as_secs_f64() / 300.0),
             format!("{}", m.stable_replacements),
         ]);
     }

@@ -70,7 +70,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["scenario", "steps", "states", "transitions", "violations", "truncated"],
+            &[
+                "scenario",
+                "steps",
+                "states",
+                "transitions",
+                "violations",
+                "truncated"
+            ],
             &rows,
         )
     );

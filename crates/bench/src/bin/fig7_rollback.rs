@@ -27,7 +27,10 @@ fn main() {
                 format!("±{:.2}", p.write_through.ci95_half_width()),
                 format!("{:.2}", p.model_co),
                 format!("{:.2}", p.model_wt),
-                format!("{:.1}x", p.write_through.mean() / p.coordinated.mean().max(1e-9)),
+                format!(
+                    "{:.1}x",
+                    p.write_through.mean() / p.coordinated.mean().max(1e-9)
+                ),
             ]
         })
         .collect();
@@ -48,5 +51,7 @@ fn main() {
         )
     );
     println!("paper claim: E[Dco] significantly below E[Dwt] across the sweep;");
-    println!("E[Dwt] is set by the (external) validation rate, E[Dco] by Δ and the dirty fraction.");
+    println!(
+        "E[Dwt] is set by the (external) validation rate, E[Dco] by Δ and the dirty fraction."
+    );
 }

@@ -131,5 +131,7 @@ fn main() {
         )
     );
     println!("note: original TB blocks the same duration regardless of the dirty bit;");
-    println!("adapted TB lengthens dirty-process blocking by tmax+tmin to catch in-flight passed_AT.");
+    println!(
+        "adapted TB lengthens dirty-process blocking by tmax+tmin to catch in-flight passed_AT."
+    );
 }

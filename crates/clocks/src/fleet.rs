@@ -1,6 +1,5 @@
 //! A fleet of clocks with bounded pairwise deviation.
 
-use rand::Rng;
 use synergy_des::{DetRng, SimDuration, SimTime};
 
 use crate::drift::DriftingClock;
@@ -168,9 +167,8 @@ impl ClockFleet {
             .max()
             .expect("fleet is non-empty");
         for clock in &mut self.clocks {
-            let offset = SimDuration::from_nanos(
-                self.rng.gen_range(0..=self.params.delta.as_nanos()),
-            );
+            let offset =
+                SimDuration::from_nanos(self.rng.gen_range(0..=self.params.delta.as_nanos()));
             let drift = if self.params.rho == 0.0 {
                 0.0
             } else {

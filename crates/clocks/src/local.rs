@@ -88,7 +88,10 @@ mod tests {
     fn arithmetic() {
         let t = LocalTime::ZERO + SimDuration::from_millis(10);
         assert_eq!(t.as_nanos(), 10_000_000);
-        assert_eq!(t - LocalTime::from_nanos(4_000_000), SimDuration::from_millis(6));
+        assert_eq!(
+            t - LocalTime::from_nanos(4_000_000),
+            SimDuration::from_millis(6)
+        );
         assert_eq!(t - SimDuration::from_millis(10), LocalTime::ZERO);
     }
 

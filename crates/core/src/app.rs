@@ -6,7 +6,7 @@
 //! stay bit-identical and global-state checkers can reconstruct exactly
 //! which messages a recovered state reflects (DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::codec_struct;
 use synergy_net::{MsgSeqNo, ProcessId};
 use synergy_storage::codec;
 
@@ -50,7 +50,7 @@ pub trait Application: Send {
 }
 
 /// One record of a processed message, kept for the global-state checkers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReceiptRecord {
     /// The sending process.
     pub from: ProcessId,
@@ -59,7 +59,7 @@ pub struct ReceiptRecord {
 }
 
 /// Serializable state of [`CounterApp`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CounterState {
     /// Number of state transitions performed.
     pub steps: u64,
@@ -72,6 +72,15 @@ pub struct CounterState {
     /// Every message this state reflects, in processing order.
     pub received: Vec<ReceiptRecord>,
 }
+
+codec_struct!(ReceiptRecord { from, seq });
+codec_struct!(CounterState {
+    steps,
+    acc,
+    internals_produced,
+    externals_produced,
+    received
+});
 
 /// A deterministic counter application with checksummed external messages
 /// and an injectable design fault.

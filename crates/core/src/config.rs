@@ -27,27 +27,24 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// The protocol choices this scheme makes.
+    pub fn policy(self) -> &'static dyn crate::system::SchemePolicy {
+        crate::system::policy_for(self)
+    }
+
     /// The MDCD configuration this scheme runs.
     pub fn mdcd_config(self) -> MdcdConfig {
-        match self {
-            Scheme::Coordinated => MdcdConfig::modified(),
-            Scheme::WriteThrough => MdcdConfig::write_through(),
-            Scheme::Naive | Scheme::MdcdOnly => MdcdConfig::original(),
-        }
+        self.policy().mdcd_config()
     }
 
     /// The TB variant this scheme runs, if any.
     pub fn tb_variant(self) -> Option<TbVariant> {
-        match self {
-            Scheme::Coordinated => Some(TbVariant::Adapted),
-            Scheme::Naive => Some(TbVariant::Original),
-            Scheme::WriteThrough | Scheme::MdcdOnly => None,
-        }
+        self.policy().tb_variant()
     }
 
     /// Whether Type-2 checkpoints are written through to stable storage.
     pub fn stable_on_validation(self) -> bool {
-        self == Scheme::WriteThrough
+        self.policy().stable_on_validation()
     }
 }
 
@@ -266,10 +263,7 @@ mod tests {
 
     #[test]
     fn scheme_protocol_mapping() {
-        assert_eq!(
-            Scheme::Coordinated.mdcd_config().variant,
-            Variant::Modified
-        );
+        assert_eq!(Scheme::Coordinated.mdcd_config().variant, Variant::Modified);
         assert_eq!(Scheme::Coordinated.tb_variant(), Some(TbVariant::Adapted));
         assert_eq!(Scheme::Naive.tb_variant(), Some(TbVariant::Original));
         assert_eq!(Scheme::WriteThrough.tb_variant(), None);

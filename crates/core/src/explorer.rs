@@ -131,7 +131,11 @@ impl ExpState {
                 )
             })
             .collect();
-        let snaps = [self.act.snapshot(), self.sdw.snapshot(), self.peer.snapshot()];
+        let snaps = [
+            self.act.snapshot(),
+            self.sdw.snapshot(),
+            self.peer.snapshot(),
+        ];
         let snap_key: Vec<(bool, Option<bool>, u64, u64, usize, bool)> = snaps
             .iter()
             .map(|s| {
@@ -148,7 +152,10 @@ impl ExpState {
         let vol_key: Vec<Option<(usize, bool, u64)>> = self
             .volatile
             .iter()
-            .map(|v| v.as_ref().map(|v| (v.receipts.len(), v.engine.dirty, v.engine.msg_sn.0)))
+            .map(|v| {
+                v.as_ref()
+                    .map(|v| (v.receipts.len(), v.engine.dirty, v.engine.msg_sn.0))
+            })
             .collect();
         codec::to_bytes(&(
             links,
@@ -447,7 +454,11 @@ mod tests {
             report.states,
             report.violations
         );
-        assert!(report.states > 100, "exploration must branch: {}", report.states);
+        assert!(
+            report.states > 100,
+            "exploration must branch: {}",
+            report.states
+        );
     }
 
     #[test]

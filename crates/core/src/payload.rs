@@ -1,6 +1,6 @@
 //! The composite checkpoint payload.
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::codec_struct;
 use synergy_des::SimTime;
 use synergy_mdcd::EngineSnapshot;
 use synergy_net::{Envelope, MsgSeqNo, ProcessId};
@@ -9,7 +9,7 @@ use synergy_storage::{Checkpoint, CheckpointError};
 /// One outgoing application message, as recorded by the host for the
 /// global-state checkers (who needs to know *where* each sequence number
 /// went, which the engine's counter alone cannot tell).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SentRecord {
     /// Destination process.
     pub to: ProcessId,
@@ -20,7 +20,7 @@ pub struct SentRecord {
 /// Everything one process must persist to be recoverable: application state,
 /// MDCD engine control state, and — for stable checkpoints — the messages
 /// sent but not yet acknowledged (the TB recoverability rule, paper §2.2).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CheckpointPayload {
     /// Serialized application state.
     pub app: Vec<u8>,
@@ -45,6 +45,16 @@ pub struct CheckpointPayload {
     /// time the disk write happened.
     pub state_time_nanos: u64,
 }
+
+codec_struct!(SentRecord { to, seq });
+codec_struct!(CheckpointPayload {
+    app,
+    engine,
+    unacked,
+    sent,
+    replay,
+    state_time_nanos
+});
 
 impl CheckpointPayload {
     /// Bundles a payload.

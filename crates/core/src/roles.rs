@@ -27,9 +27,7 @@ impl RoleEngine {
         peer: ProcessId,
     ) -> Self {
         match role {
-            ProcessRole::Active => {
-                RoleEngine::Active(ActiveEngine::new(cfg, active, shadow, peer))
-            }
+            ProcessRole::Active => RoleEngine::Active(ActiveEngine::new(cfg, active, shadow, peer)),
             ProcessRole::Shadow => RoleEngine::Shadow(ShadowEngine::new(cfg, shadow, peer)),
             ProcessRole::Peer => RoleEngine::Peer(PeerEngine::new(cfg, peer, active, shadow)),
         }

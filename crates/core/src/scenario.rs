@@ -5,9 +5,9 @@
 //! experiment binaries render these as per-process timelines, and the
 //! integration tests assert the structural claims each figure makes.
 
-use synergy_des::{SimDuration, Trace};
 use crate::config::{Scheme, SystemConfig};
 use crate::system::{Mission, System};
+use synergy_des::{SimDuration, Trace};
 
 /// Checkpoint/AT counts extracted from a scenario trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -1,0 +1,546 @@
+//! One guarded process: the MDCD engine, optional TB engine, application,
+//! stores and acknowledgment bookkeeping of a single process, behind a
+//! sans-io `handle(event) -> Vec<HostAction>` surface.
+//!
+//! A [`ProcessHost`] owns everything that belongs to one process and
+//! nothing that belongs to the environment: it never touches clocks, the
+//! network, the scheduler, metrics or the trace. Drivers (the simulator's
+//! dispatch layer, or the threaded middleware runtime) feed it
+//! [`HostEvent`]s and interpret the returned [`HostAction`]s — routing
+//! envelopes, scheduling timers, counting metrics and recording trace
+//! lines. Action order is the exact trace order of the protocol.
+
+use synergy_clocks::LocalTime;
+use synergy_des::{EventId, SimDuration, SimTime};
+use synergy_mdcd::{
+    Action as MdcdAction, CheckpointKind, EngineSnapshot, Event as MdcdEvent, OutboundMessage,
+    ProcessRole,
+};
+use synergy_net::{
+    AckTracker, CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+};
+use synergy_storage::{StableStore, VolatileStore};
+use synergy_tb::{Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine};
+
+use crate::app::{Application, CounterApp};
+use crate::config::Scheme;
+use crate::payload::{CheckpointPayload, SentRecord};
+use crate::roles::RoleEngine;
+use crate::system::policy::{policy_for, SchemePolicy};
+use crate::system::recovery;
+
+/// Sequence-number namespace for transport acks (disjoint from both the
+/// application counter and the engines' control counter).
+pub(crate) const ACK_SEQ_BASE: u64 = 1 << 62;
+
+/// The process layout a host participates in. Hosts are topology-agnostic:
+/// they address their peers through these ids, never through positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// The (original) active replica; the engines keep broadcasting to
+    /// this id even after a takeover.
+    pub active: ProcessId,
+    /// The shadow replica.
+    pub shadow: ProcessId,
+    /// The peer component.
+    pub peer: ProcessId,
+    /// The external device endpoint.
+    pub device: DeviceId,
+}
+
+impl Topology {
+    /// The paper's canonical layout: `P1act`, `P1sdw`, `P2` and one device.
+    pub fn canonical() -> Self {
+        Topology {
+            active: super::P1ACT,
+            shadow: super::P1SDW,
+            peer: super::P2,
+            device: super::DEVICE,
+        }
+    }
+}
+
+/// An input a driver feeds to one host.
+#[derive(Debug, Clone)]
+pub enum HostEvent {
+    /// A network delivery (application, control, or transport ack).
+    Deliver(Envelope),
+    /// The application produces one message.
+    Produce {
+        /// Whether the message is external (device-bound, acceptance
+        /// tested).
+        external: bool,
+    },
+    /// The TB timer fired, exactly at its local-clock deadline.
+    TimerExpired {
+        /// The local deadline the timer was set for.
+        deadline: LocalTime,
+    },
+    /// The TB blocking period's local duration elapsed.
+    BlockingElapsed,
+}
+
+/// An effect the driver must perform on behalf of the host, in order.
+#[derive(Debug, Clone)]
+pub enum HostAction {
+    /// Route a protocol envelope (already counted in the host's send
+    /// bookkeeping).
+    Send(Envelope),
+    /// Route a transport acknowledgment (not a protocol send: no trace
+    /// line, no send metric).
+    SendAck(Envelope),
+    /// One application message was delivered to the local application.
+    Delivered,
+    /// An acceptance test ran.
+    AtPerformed {
+        /// Whether it passed.
+        pass: bool,
+    },
+    /// The acceptance test exposed the design fault; the driver must run
+    /// software recovery after applying the remaining actions.
+    SoftwareErrorDetected,
+    /// A volatile checkpoint was saved.
+    VolatileSaved {
+        /// Which checkpoint kind the engine established.
+        kind: CheckpointKind,
+    },
+    /// A write-through Type-2 checkpoint was committed to stable storage.
+    WriteThroughCommitted,
+    /// A TB stable write began.
+    StableWriteBegun {
+        /// `"stable-current"` or `"stable-volatile-copy"`.
+        label: &'static str,
+        /// The dirty value the TB engine observed at its timer.
+        expected_dirty: bool,
+        /// A dirty process had no volatile checkpoint and fell back to its
+        /// current state (cannot happen through the engines).
+        fallback: bool,
+    },
+    /// The in-flight stable write was replaced with the current state
+    /// (dirty bit cleared inside the blocking period).
+    StableReplaced,
+    /// The in-flight stable write committed.
+    StableCommitted {
+        /// The committed epoch (`Ndc`).
+        ndc: CkptSeqNo,
+    },
+    /// A blocking period started; the driver schedules its end after the
+    /// local-clock `duration`.
+    BlockingStarted {
+        /// Blocking length on the local clock.
+        duration: SimDuration,
+    },
+    /// (Re)arm the TB timer at a local-clock deadline.
+    ScheduleTimer {
+        /// The local deadline.
+        at: LocalTime,
+    },
+    /// The TB engine wants the clock fleet resynchronized.
+    ResyncRequested,
+    /// A trace line, interleaved exactly where the protocol emitted it.
+    Record {
+        /// Trace kind (e.g. `"msg.recv"`).
+        kind: &'static str,
+        /// Trace detail.
+        detail: String,
+    },
+}
+
+/// One process: application + MDCD engine + optional TB engine + stores.
+pub struct ProcessHost {
+    /// This process's id.
+    pub pid: ProcessId,
+    /// The node this process runs on (indexes the clock fleet).
+    pub node: usize,
+    /// The layout this host addresses its peers through.
+    pub topology: Topology,
+    /// The guarded application.
+    pub app: CounterApp,
+    /// The role-specific MDCD engine.
+    pub engine: RoleEngine,
+    /// The TB engine, when the scheme runs one.
+    pub tb: Option<TbEngine>,
+    /// Volatile (in-memory) checkpoint store; wiped by crashes.
+    pub volatile: VolatileStore,
+    /// Stable (crash-surviving) checkpoint store.
+    pub stable: StableStore,
+    /// Outstanding-acknowledgment tracker (the TB recoverability rule).
+    pub acks: AckTracker,
+    /// Application messages sent, as reflected by checkpoints.
+    pub sent_log: Vec<SentRecord>,
+    /// Whether the node is powered (false between a crash and recovery).
+    pub up: bool,
+    /// Whether the process is permanently out of service (takeover).
+    pub dead: bool,
+    /// Volatile checkpoint sequence counter.
+    pub volatile_seq: u64,
+    /// Write-through stable checkpoint sequence counter.
+    pub wt_stable_seq: u64,
+    /// Transport-ack sequence counter.
+    pub ack_sn: u64,
+    /// Bumped on recovery to void stale TB timer/blocking events.
+    pub tb_epoch: u64,
+    /// The pending TB timer event, if the driver tracks one.
+    pub timer_event: Option<EventId>,
+    /// When the current blocking period started (true time).
+    pub blocking_started_at: Option<SimTime>,
+    /// Set once this process's state has been installed by a state
+    /// transfer (shadow refresh); message-history checks then no longer
+    /// apply to it.
+    pub synthetic_history: bool,
+    /// Application messages delivered since the last volatile checkpoint;
+    /// attached to volatile-copy stable writes so recovery can replay
+    /// receipts the copied state predates (DESIGN.md §8, decision 5).
+    pub recv_log: Vec<Envelope>,
+    /// Application messages delivered over this host's lifetime.
+    pub delivered: u64,
+    policy: &'static dyn SchemePolicy,
+}
+
+impl ProcessHost {
+    /// Builds the host for `role` at `pid` on `node`. All replicas of one
+    /// system must share the application `app`'s seed so they produce
+    /// identical streams.
+    pub fn new(
+        role: ProcessRole,
+        pid: ProcessId,
+        node: usize,
+        topology: Topology,
+        scheme: Scheme,
+        app: CounterApp,
+        tb: Option<TbConfig>,
+    ) -> Self {
+        let policy = policy_for(scheme);
+        ProcessHost {
+            pid,
+            node,
+            topology,
+            engine: RoleEngine::new(
+                role,
+                policy.mdcd_config(),
+                topology.active,
+                topology.shadow,
+                topology.peer,
+            ),
+            tb: tb.map(TbEngine::new),
+            app,
+            volatile: VolatileStore::new(),
+            stable: StableStore::new(),
+            acks: AckTracker::new(),
+            sent_log: Vec::new(),
+            up: true,
+            dead: false,
+            volatile_seq: 0,
+            wt_stable_seq: 0,
+            ack_sn: 0,
+            tb_epoch: 0,
+            timer_event: None,
+            blocking_started_at: None,
+            synthetic_history: false,
+            recv_log: Vec::new(),
+            delivered: 0,
+            policy,
+        }
+    }
+
+    /// The scheme policy this host runs under.
+    pub fn policy(&self) -> &'static dyn SchemePolicy {
+        self.policy
+    }
+
+    /// A checkpoint payload of the current state at `now`.
+    pub fn current_payload(&self, now: SimTime) -> CheckpointPayload {
+        CheckpointPayload::new(
+            self.app.snapshot(),
+            self.engine.snapshot(),
+            self.acks.unacked(),
+            self.sent_log.clone(),
+            now,
+        )
+    }
+
+    /// Feeds one event; returns the effects the driver must apply, in
+    /// order.
+    pub fn handle(&mut self, event: HostEvent, now: SimTime) -> Vec<HostAction> {
+        let mut out = Vec::new();
+        match event {
+            HostEvent::Deliver(env) => self.on_deliver(env, now, &mut out),
+            HostEvent::Produce { external } => self.on_produce(external, now, &mut out),
+            HostEvent::TimerExpired { deadline } => self.on_timer(deadline, now, &mut out),
+            HostEvent::BlockingElapsed => {
+                let actions = match self.tb.as_mut() {
+                    Some(tb) => tb.handle(TbEvent::BlockingElapsed),
+                    None => return out,
+                };
+                self.apply_tb(actions, now, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Starts the TB timers (mission bootstrap).
+    pub fn start_tb(&mut self, now: SimTime) -> Vec<HostAction> {
+        let mut out = Vec::new();
+        let actions = match self.tb.as_mut() {
+            Some(tb) => tb.start(),
+            None => return out,
+        };
+        self.apply_tb(actions, now, &mut out);
+        out
+    }
+
+    /// Feeds one MDCD engine event directly. Recovery procedures and
+    /// runtime adapters that drive TB outside the host (the threaded
+    /// middleware) use this to forward blocking/commit notifications.
+    pub fn engine_event(&mut self, event: MdcdEvent, now: SimTime) -> Vec<HostAction> {
+        let mut out = Vec::new();
+        let actions = self.engine.handle(event);
+        self.apply_mdcd(actions, now, &mut out);
+        out
+    }
+
+    /// Feeds one TB engine event directly (recovery restarts, resync).
+    pub(crate) fn tb_event(&mut self, event: TbEvent, now: SimTime) -> Vec<HostAction> {
+        let mut out = Vec::new();
+        let actions = match self.tb.as_mut() {
+            Some(tb) => tb.handle(event),
+            None => return out,
+        };
+        self.apply_tb(actions, now, &mut out);
+        out
+    }
+
+    /// Send-side bookkeeping for an envelope leaving this host outside the
+    /// engine path (recovery resends): the sent log and ack tracking.
+    pub fn note_send(&mut self, env: &Envelope) {
+        if let (MessageBody::Application { .. }, Endpoint::Process(p)) = (&env.body, env.to) {
+            self.sent_log.push(SentRecord {
+                to: p,
+                seq: env.id.seq,
+            });
+            self.acks.on_send(env.clone());
+        }
+    }
+
+    fn on_deliver(&mut self, env: Envelope, now: SimTime, out: &mut Vec<HostAction>) {
+        if let MessageBody::Ack { of } = env.body {
+            self.acks.on_ack(of);
+            return;
+        }
+        out.push(HostAction::Record {
+            kind: "msg.recv",
+            detail: env.to_string(),
+        });
+        let bit_before = self.engine.checkpoint_bit();
+        let actions = self.engine.handle(MdcdEvent::Deliver(env));
+        self.apply_mdcd(actions, now, out);
+        if bit_before && !self.engine.checkpoint_bit() {
+            self.notify_dirty_cleared(now, out);
+        }
+    }
+
+    fn notify_dirty_cleared(&mut self, now: SimTime, out: &mut Vec<HostAction>) {
+        let actions = match self.tb.as_mut() {
+            Some(tb) if tb.is_blocking() => tb.handle(TbEvent::DirtyCleared),
+            _ => return,
+        };
+        self.apply_tb(actions, now, out);
+    }
+
+    fn on_produce(&mut self, external: bool, now: SimTime, out: &mut Vec<HostAction>) {
+        let (payload, to): (Vec<u8>, Endpoint) = if external {
+            (
+                self.app.produce_external(),
+                Endpoint::Device(self.topology.device),
+            )
+        } else {
+            let dest = match self.engine.role() {
+                // The engine broadcasts internal peer traffic itself.
+                ProcessRole::Peer => Endpoint::Process(self.topology.active),
+                _ => Endpoint::Process(self.topology.peer),
+            };
+            (self.app.produce_internal(), dest)
+        };
+        let at_pass = self.app.acceptance_test(&payload);
+        let actions = self.engine.handle(MdcdEvent::AppSend(OutboundMessage {
+            to,
+            payload,
+            external,
+            at_pass,
+        }));
+        self.apply_mdcd(actions, now, out);
+    }
+
+    fn on_timer(&mut self, deadline: LocalTime, now: SimTime, out: &mut Vec<HostAction>) {
+        let dirty = self.engine.checkpoint_bit();
+        let actions = match self.tb.as_mut() {
+            // The timer fired exactly at its local deadline.
+            Some(tb) => tb.handle(TbEvent::TimerExpired {
+                now_local: deadline,
+                dirty,
+            }),
+            None => return,
+        };
+        out.push(HostAction::Record {
+            kind: "tb.timer",
+            detail: format!("dirty={} local={deadline}", u8::from(dirty)),
+        });
+        self.apply_tb(actions, now, out);
+    }
+
+    fn apply_mdcd(&mut self, actions: Vec<MdcdAction>, now: SimTime, out: &mut Vec<HostAction>) {
+        for action in actions {
+            match action {
+                MdcdAction::Send(env) => {
+                    self.note_send(&env);
+                    out.push(HostAction::Send(env));
+                }
+                MdcdAction::TakeCheckpoint { kind, engine } => {
+                    self.take_volatile(kind, engine, now, out);
+                }
+                MdcdAction::DeliverToApp(env) => {
+                    if let MessageBody::Application { payload, .. } = &env.body {
+                        self.app.on_message(env.from(), env.id.seq, payload);
+                        self.recv_log.push(env.clone());
+                        self.delivered += 1;
+                        out.push(HostAction::Delivered);
+                    }
+                    // Transport-level acknowledgment back to the sender.
+                    self.ack_sn += 1;
+                    let ack = Envelope::new(
+                        MsgId {
+                            from: self.pid,
+                            seq: MsgSeqNo(ACK_SEQ_BASE + self.ack_sn),
+                        },
+                        env.from(),
+                        MessageBody::Ack { of: env.id },
+                    );
+                    out.push(HostAction::SendAck(ack));
+                }
+                MdcdAction::AtPerformed { pass } => out.push(HostAction::AtPerformed { pass }),
+                MdcdAction::SoftwareErrorDetected => {
+                    out.push(HostAction::SoftwareErrorDetected);
+                }
+            }
+        }
+    }
+
+    fn take_volatile(
+        &mut self,
+        kind: CheckpointKind,
+        engine: EngineSnapshot,
+        now: SimTime,
+        out: &mut Vec<HostAction>,
+    ) {
+        self.volatile_seq += 1;
+        let payload = CheckpointPayload::new(
+            self.app.snapshot(),
+            engine,
+            Vec::new(),
+            self.sent_log.clone(),
+            now,
+        );
+        let ckpt = payload
+            .clone()
+            .into_checkpoint(self.volatile_seq, kind.to_string())
+            .expect("payload encodes");
+        self.volatile.save(ckpt);
+        self.recv_log.clear();
+        out.push(HostAction::VolatileSaved { kind });
+        // Write-through baseline: Type-2 checkpoints are persisted.
+        if self.policy.stable_on_validation() && kind == CheckpointKind::Type2 {
+            self.wt_stable_seq += 1;
+            let mut stable_payload = payload;
+            stable_payload.unacked = self.acks.unacked();
+            let ckpt = stable_payload
+                .into_checkpoint(self.wt_stable_seq, "stable-type2")
+                .expect("payload encodes");
+            self.stable
+                .begin_write(ckpt)
+                .expect("no concurrent WT write");
+            self.stable.commit_write().expect("just begun");
+            out.push(HostAction::WriteThroughCommitted);
+        }
+    }
+
+    fn apply_tb(&mut self, actions: Vec<TbAction>, now: SimTime, out: &mut Vec<HostAction>) {
+        for action in actions {
+            match action {
+                TbAction::BeginStableWrite {
+                    contents,
+                    expected_dirty,
+                } => self.begin_stable_write(contents, expected_dirty, now, out),
+                TbAction::StartBlocking { duration } => {
+                    self.blocking_started_at = Some(now);
+                    out.push(HostAction::BlockingStarted { duration });
+                    let engine_actions = self.engine.handle(MdcdEvent::BlockingStarted);
+                    self.apply_mdcd(engine_actions, now, out);
+                    out.push(HostAction::Record {
+                        kind: "tb.blocking",
+                        detail: format!("for {duration}"),
+                    });
+                }
+                TbAction::ReplaceWithCurrentState => {
+                    let payload = self.current_payload(self.blocking_started_at.unwrap_or(now));
+                    let seq = self.stable.in_progress().map_or(1, |c| c.seq());
+                    let ckpt = payload
+                        .into_checkpoint(seq, "stable-replaced")
+                        .expect("payload encodes");
+                    self.stable
+                        .replace_in_progress(ckpt)
+                        .expect("write in progress during blocking");
+                    out.push(HostAction::StableReplaced);
+                }
+                TbAction::CommitStableWrite { ndc } => {
+                    self.blocking_started_at = None;
+                    self.stable.commit_write().expect("write in progress");
+                    out.push(HostAction::StableCommitted { ndc });
+                    let mut engine_actions = self
+                        .engine
+                        .handle(MdcdEvent::StableCheckpointCommitted(ndc));
+                    engine_actions.extend(self.engine.handle(MdcdEvent::BlockingEnded));
+                    self.apply_mdcd(engine_actions, now, out);
+                }
+                TbAction::ScheduleTimer { at } => out.push(HostAction::ScheduleTimer { at }),
+                TbAction::RequestResync => out.push(HostAction::ResyncRequested),
+            }
+        }
+    }
+
+    fn begin_stable_write(
+        &mut self,
+        contents: ContentsChoice,
+        expected_dirty: bool,
+        now: SimTime,
+        out: &mut Vec<HostAction>,
+    ) {
+        let (payload, fallback) = match contents {
+            ContentsChoice::CurrentState => (self.current_payload(now), false),
+            ContentsChoice::VolatileCopy => match self.volatile.latest() {
+                Some(vol) => (
+                    recovery::volatile_copy_payload(vol, &self.acks, &self.recv_log),
+                    false,
+                ),
+                // Defensive: a dirty bit without a volatile checkpoint
+                // (cannot happen through the engines).
+                None => (self.current_payload(now), true),
+            },
+        };
+        let seq = self.tb.as_ref().map_or(0, |tb| tb.ndc().0) + 1;
+        let label = match contents {
+            ContentsChoice::CurrentState => "stable-current",
+            ContentsChoice::VolatileCopy => "stable-volatile-copy",
+        };
+        let ckpt = payload
+            .into_checkpoint(seq, label)
+            .expect("payload encodes");
+        self.stable
+            .begin_write(ckpt)
+            .expect("no overlapping TB writes");
+        out.push(HostAction::StableWriteBegun {
+            label,
+            expected_dirty,
+            fallback,
+        });
+    }
+}

@@ -1,0 +1,219 @@
+//! Mission-level tests of the assembled system (all three layers).
+
+use super::*;
+use crate::config::{Scheme, SystemConfig};
+
+fn base() -> crate::config::SystemConfigBuilder {
+    SystemConfig::builder()
+        .seed(7)
+        .duration_secs(120.0)
+        .internal_rate_per_min(60.0)
+        .external_rate_per_min(6.0)
+}
+
+#[test]
+fn fault_free_coordinated_run_is_clean() {
+    let outcome = Mission::new(base().scheme(Scheme::Coordinated).build()).run();
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
+    assert!(outcome.metrics.stable_commits > 0, "TB must checkpoint");
+    assert!(
+        outcome.metrics.at_runs > 0,
+        "external messages must be tested"
+    );
+    assert_eq!(outcome.metrics.at_failures, 0);
+    assert!(outcome.device_messages > 0);
+    assert!(!outcome.shadow_promoted);
+}
+
+#[test]
+fn software_fault_triggers_takeover_and_recovers() {
+    let outcome = Mission::new(
+        base()
+            .scheme(Scheme::Coordinated)
+            .software_fault_at_secs(40.0)
+            .build(),
+    )
+    .run();
+    assert!(outcome.shadow_promoted, "shadow must take over");
+    assert_eq!(outcome.metrics.software_recoveries, 1);
+    assert!(outcome.metrics.at_failures >= 1);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
+    assert!(
+        outcome.device_messages > 0,
+        "external service continues after takeover"
+    );
+}
+
+#[test]
+fn hardware_fault_recovers_consistently_under_coordination() {
+    let outcome = Mission::new(
+        base()
+            .scheme(Scheme::Coordinated)
+            .hardware_fault_at_secs(70.0)
+            .build(),
+    )
+    .run();
+    assert_eq!(outcome.metrics.hardware_recoveries, 1);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
+    let distances = outcome.metrics.hardware_rollback_distances();
+    assert_eq!(distances.len(), 3, "all three processes roll back");
+    for d in distances {
+        assert!(d < 120.0, "rollback bounded by mission length");
+    }
+}
+
+#[test]
+fn naive_combination_violates_validity() {
+    // Find a seed where the fault lands while P2 is dirty — with a
+    // 60/min internal rate P2 is dirty most of the time.
+    let mut violated = false;
+    for seed in 0..10 {
+        let outcome = Mission::new(
+            base()
+                .seed(seed)
+                .scheme(Scheme::Naive)
+                .hardware_fault_at_secs(71.0)
+                .build(),
+        )
+        .run();
+        if !outcome.verdicts.of("validity-self").is_empty() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "naive combination must exhibit the Fig. 4(a) validity loss"
+    );
+}
+
+#[test]
+fn write_through_recovers_but_more_expensively() {
+    let outcome = Mission::new(
+        base()
+            .scheme(Scheme::WriteThrough)
+            .hardware_fault_at_secs(70.0)
+            .build(),
+    )
+    .run();
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
+    assert!(outcome.metrics.stable_commits > 0);
+    assert_eq!(outcome.metrics.hardware_recoveries, 1);
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let run = |seed| {
+        let o = Mission::new(
+            base()
+                .seed(seed)
+                .scheme(Scheme::Coordinated)
+                .hardware_fault_at_secs(50.0)
+                .software_fault_at_secs(90.0)
+                .build(),
+        )
+        .run();
+        (
+            o.metrics.messages_sent,
+            o.metrics.stable_commits,
+            o.device_messages,
+            o.metrics.hardware_rollback_distances(),
+        )
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12));
+}
+
+#[test]
+fn coordinated_beats_write_through_on_rollback_distance() {
+    // The headline comparison (Fig. 7), run below the model's crossover
+    // interval Δ < 2/(λi+λv): internal messages 60/h, validations
+    // ~2+/min, Δ = 2s.
+    let mean = |scheme| {
+        let mut total = 0.0;
+        let mut n = 0u32;
+        for seed in 0..8 {
+            let o = Mission::new(
+                SystemConfig::builder()
+                    .seed(seed)
+                    .scheme(scheme)
+                    .duration_secs(400.0)
+                    .internal_rate_per_min(1.0)
+                    .external_rate_per_min(2.0)
+                    .tb_interval_secs(2.0)
+                    .hardware_fault_at_secs(310.0)
+                    .trace(false)
+                    .build(),
+            )
+            .run();
+            for d in o.metrics.hardware_rollback_distances() {
+                total += d;
+                n += 1;
+            }
+        }
+        total / f64::from(n)
+    };
+    let co = mean(Scheme::Coordinated);
+    let wt = mean(Scheme::WriteThrough);
+    assert!(
+        co < wt,
+        "coordinated ({co:.1}s) must beat write-through ({wt:.1}s)"
+    );
+}
+
+#[test]
+fn software_then_hardware_fault_sequence_survives() {
+    let outcome = Mission::new(
+        base()
+            .scheme(Scheme::Coordinated)
+            .software_fault_at_secs(30.0)
+            .hardware_fault_at_secs(80.0)
+            .build(),
+    )
+    .run();
+    assert_eq!(outcome.metrics.software_recoveries, 1);
+    assert_eq!(outcome.metrics.hardware_recoveries, 1);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
+}
+
+#[test]
+fn crash_of_each_node_is_survivable() {
+    for node in 0..3usize {
+        let outcome = Mission::new(
+            base()
+                .scheme(Scheme::Coordinated)
+                .hardware_fault(crate::faults::HardwareFault {
+                    at: SimTime::from_secs_f64(60.0),
+                    node,
+                })
+                .build(),
+        )
+        .run();
+        assert!(
+            outcome.verdicts.all_hold(),
+            "node {node}: {:?}",
+            outcome.verdicts.violations
+        );
+        assert_eq!(outcome.metrics.hardware_recoveries, 1, "node {node}");
+    }
+}

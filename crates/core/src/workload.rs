@@ -1,6 +1,5 @@
 //! Poisson workload generation.
 
-use rand::Rng;
 use synergy_des::{DetRng, SimDuration};
 
 /// A Poisson arrival stream: exponential inter-arrival times at a fixed

@@ -5,26 +5,28 @@
 //! from the run seed and a stable label. Adding a new consumer therefore
 //! never perturbs the draws seen by existing consumers, which keeps
 //! experiment configurations comparable across code changes.
+//!
+//! The generator is a self-contained xoshiro256** core seeded through
+//! splitmix64, so simulations are reproducible from the seed alone with no
+//! external dependency whose internals could drift between versions.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use core::ops::{Range, RangeInclusive};
 
 /// A deterministic random number generator with labelled sub-streams.
 ///
 /// # Example
 ///
 /// ```rust
-/// use rand::Rng;
 /// use synergy_des::DetRng;
 ///
 /// let mut a = DetRng::new(7).stream("link:1->2");
 /// let mut b = DetRng::new(7).stream("link:1->2");
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
@@ -32,7 +34,7 @@ impl DetRng {
     pub fn new(seed: u64) -> Self {
         DetRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            state: seed_state(seed),
         }
     }
 
@@ -50,7 +52,7 @@ impl DetRng {
         h = fnv1a_continue(h, label.as_bytes());
         DetRng {
             seed: h,
-            inner: StdRng::seed_from_u64(splitmix64(h)),
+            state: seed_state(splitmix64(h)),
         }
     }
 
@@ -58,21 +60,138 @@ impl DetRng {
     pub fn stream_indexed(&self, label: &str, index: u64) -> DetRng {
         self.stream(&format!("{label}#{index}"))
     }
+
+    /// The next 64 uniformly random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// If `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// A uniform draw from `range`.
+    ///
+    /// # Panics
+    ///
+    /// If the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform draw in `[0, bound)`, using a widening multiply (the bias
+    /// for any bound representable here is below 2^-64 per draw).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Ranges [`DetRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut DetRng) -> T;
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample(self, rng: &mut DetRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64(self.end - self.start)
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample(self, rng: &mut DetRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.bounded_u64(span + 1)
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+}
+
+impl SampleRange<u128> for Range<u128> {
+    fn sample(self, rng: &mut DetRng) -> u128 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        // Modulo sampling; the bias is negligible for the sub-second spans
+        // drawn through this path.
+        let draw = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        self.start + draw % span
     }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on the excluded upper bound; step back in.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
     }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+fn seed_state(seed: u64) -> [u64; 4] {
+    // splitmix64 expansion, the canonical way to seed xoshiro from one word.
+    let mut x = seed;
+    let mut state = [0u64; 4];
+    for slot in &mut state {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        *slot = z ^ (z >> 31);
+    }
+    if state == [0; 4] {
+        // xoshiro's one forbidden state.
+        state[0] = 0x9e37_79b9_7f4a_7c15;
+    }
+    state
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -97,14 +216,13 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_draws() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(1);
         for _ in 0..16 {
-            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
@@ -112,8 +230,8 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(2);
-        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(va, vb);
     }
 
@@ -122,11 +240,11 @@ mod tests {
         let root = DetRng::new(99);
         let fresh = root.stream("workload");
         let mut consumed_root = DetRng::new(99);
-        let _: u64 = consumed_root.gen();
+        let _ = consumed_root.next_u64();
         let after = consumed_root.stream("workload");
         let mut a = fresh;
         let mut b = after;
-        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]
@@ -135,10 +253,10 @@ mod tests {
         let mut a = root.stream("a");
         let mut b = root.stream("b");
         let mut ai = root.stream_indexed("a", 1);
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.next_u64(), b.next_u64());
         let mut a2 = root.stream("a");
-        let _ = a2.gen::<u64>();
-        assert_ne!(a2.gen::<u64>(), ai.gen::<u64>());
+        let _ = a2.next_u64();
+        assert_ne!(a2.next_u64(), ai.next_u64());
     }
 
     #[test]
@@ -148,5 +266,32 @@ mod tests {
             let v: f64 = r.gen_range(0.25..0.75);
             assert!((0.25..0.75).contains(&v));
         }
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(10..=12);
+            assert!((10..=12).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(0..7);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = DetRng::new(11).stream("bool");
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(13);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut r2 = DetRng::new(13);
+        let mut buf2 = [0u8; 11];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 }

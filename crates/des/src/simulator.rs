@@ -212,7 +212,6 @@ mod tests {
     #[test]
     fn identical_seeds_replay_identically() {
         fn run(seed: u64) -> Vec<(u64, u32)> {
-            use rand::Rng;
             let mut sim: Simulator<u32> = Simulator::new(seed);
             let a = sim.register_actor("a");
             let mut rng = sim.rng_stream("jitter");

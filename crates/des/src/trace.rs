@@ -91,7 +91,9 @@ impl Trace {
 
     /// Events whose kind starts with `prefix`.
     pub fn by_kind<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.kind.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.kind.starts_with(prefix))
     }
 
     /// Events recorded at the named actor.

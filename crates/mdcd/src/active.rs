@@ -469,7 +469,10 @@ mod tests {
     fn original_variant_blocks_even_passed_at() {
         let mut e = engine(MdcdConfig::write_through());
         e.handle(Event::BlockingStarted);
-        assert!(e.handle(passed_at(0, 1)).is_empty(), "held under original TB");
+        assert!(
+            e.handle(passed_at(0, 1)).is_empty(),
+            "held under original TB"
+        );
         let released = e.handle(Event::BlockingEnded);
         assert!(
             matches!(

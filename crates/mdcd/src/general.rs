@@ -30,14 +30,14 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::{codec_newtype, codec_struct};
 use synergy_net::ProcessId;
 
 /// Identifies a low-confidence component (a contamination source).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceId(pub u32);
+
+codec_newtype!(SourceId);
 
 impl core::fmt::Display for SourceId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -47,10 +47,12 @@ impl core::fmt::Display for SourceId {
 
 /// Per-source high-watermarks carried by a message: "this message's causal
 /// past includes source `s` up to sequence number `n`".
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Taint {
     marks: BTreeMap<SourceId, u64>,
 }
+
+codec_struct!(Taint { marks });
 
 impl Taint {
     /// The empty (fully trusted) taint.
@@ -90,7 +92,7 @@ impl Taint {
 }
 
 /// A checkpoint pushed on the bounded stack.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GeneralCheckpoint {
     /// Opaque application snapshot provided by the host at push time.
     pub app: Vec<u8>,
@@ -99,6 +101,8 @@ pub struct GeneralCheckpoint {
     /// Monotone checkpoint counter.
     pub seq: u64,
 }
+
+codec_struct!(GeneralCheckpoint { app, seen, seq });
 
 /// What the host must do next.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -228,9 +232,7 @@ impl GeneralProcess {
         // exposed to (beyond that source's validated horizon)?
         let dirty_before = self.dirty_set();
         let exposes_new = taint.iter().any(|(s, w)| {
-            w > self.validated(s)
-                && w > self.seen.watermark(s)
-                && !dirty_before.contains(&s)
+            w > self.validated(s) && w > self.seen.watermark(s) && !dirty_before.contains(&s)
         });
         let mut actions = Vec::new();
         if exposes_new {
@@ -269,9 +271,9 @@ impl GeneralProcess {
         } else {
             let validated = self.validated.clone();
             self.ckpts.retain(|c| {
-                dirty.iter().any(|s| {
-                    c.seen.watermark(*s) <= validated.get(s).copied().unwrap_or(0)
-                })
+                dirty
+                    .iter()
+                    .any(|s| c.seen.watermark(*s) <= validated.get(s).copied().unwrap_or(0))
             });
         }
     }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::codec_struct;
 use synergy_net::{Envelope, MsgSeqNo};
 
 /// Ordered log of the shadow process's suppressed outgoing messages.
@@ -30,10 +30,12 @@ use synergy_net::{Envelope, MsgSeqNo};
 /// let remaining: Vec<u64> = log.entries_after(MsgSeqNo(0)).map(|e| e.id.seq.0).collect();
 /// assert_eq!(remaining, vec![3]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MessageLog {
     entries: BTreeMap<MsgSeqNo, Envelope>,
 }
+
+codec_struct!(MessageLog { entries });
 
 impl MessageLog {
     /// Creates an empty log.

@@ -276,9 +276,7 @@ impl PeerEngine {
                 }
                 Vec::new()
             }
-            MessageBody::Application {
-                dirty: m_dirty, ..
-            } => {
+            MessageBody::Application { dirty: m_dirty, .. } => {
                 if self.hold.is_blocking() {
                     self.hold.hold(Event::Deliver(envelope));
                     return Vec::new();

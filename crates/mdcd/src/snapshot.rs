@@ -1,6 +1,6 @@
 //! Serializable engine control state.
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::codec_struct;
 use synergy_net::{CkptSeqNo, Envelope, MsgSeqNo};
 
 /// The control-state portion of a checkpoint.
@@ -17,7 +17,7 @@ use synergy_net::{CkptSeqNo, Envelope, MsgSeqNo};
 /// software rollback nor a hardware recovery rewinds. Drivers realign it
 /// explicitly with
 /// [`Event::StableCheckpointCommitted`](crate::Event::StableCheckpointCommitted).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineSnapshot {
     /// The dirty bit (for `P1act` this is the constant 1).
     pub dirty: bool,
@@ -36,6 +36,16 @@ pub struct EngineSnapshot {
     /// Whether the shadow has taken over the active role.
     pub promoted: bool,
 }
+
+codec_struct!(EngineSnapshot {
+    dirty,
+    pseudo_dirty,
+    msg_sn,
+    vr_act,
+    ndc,
+    log,
+    promoted
+});
 
 #[cfg(test)]
 mod tests {

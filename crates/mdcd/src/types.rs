@@ -2,10 +2,8 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Which MDCD algorithm variant an engine runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// The original protocol (paper §2.1): Type-2 checkpoints on
     /// validation, no pseudo dirty bit, no `Ndc` matching, no blocking
@@ -17,7 +15,7 @@ pub enum Variant {
 }
 
 /// The role a process plays in the guarded configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProcessRole {
     /// `P1act`: active low-confidence version.
     Active,
@@ -38,7 +36,7 @@ impl fmt::Display for ProcessRole {
 }
 
 /// Why a volatile checkpoint is being established.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CheckpointKind {
     /// Immediately before a process state becomes potentially contaminated.
     Type1,
@@ -63,7 +61,7 @@ impl fmt::Display for CheckpointKind {
 /// A process's local recovery decision after a software error is detected
 /// (paper §2.1): roll back to the most recent volatile checkpoint when the
 /// state is potentially contaminated, roll forward otherwise.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RecoveryDecision {
     /// Restore the most recent volatile checkpoint.
     RollBack,

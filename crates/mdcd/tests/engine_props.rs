@@ -1,11 +1,18 @@
 //! Property tests over random event sequences fed to the MDCD engines.
+//!
+//! Stimulus sequences are generated with the workspace's deterministic RNG
+//! ([`DetRng`]), so every case is reproducible from its printed seed: each
+//! failure message carries `case=N`, and re-running the test replays the
+//! identical sequence.
 
-use proptest::prelude::*;
+use synergy_des::DetRng;
 use synergy_mdcd::{
     Action, ActiveEngine, CheckpointKind, Event, MdcdConfig, OutboundMessage, PeerEngine,
     ShadowEngine,
 };
-use synergy_net::{CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
+use synergy_net::{
+    CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+};
 
 const ACT: ProcessId = ProcessId(1);
 const SDW: ProcessId = ProcessId(2);
@@ -23,16 +30,29 @@ enum Stim {
     Commit,
 }
 
-fn stim_strategy() -> impl Strategy<Value = Stim> {
-    prop_oneof![
-        Just(Stim::SendInternal),
-        any::<bool>().prop_map(|at_pass| Stim::SendExternal { at_pass }),
-        any::<bool>().prop_map(|dirty| Stim::RecvApp { dirty }),
-        any::<bool>().prop_map(|matching_ndc| Stim::RecvPassedAt { matching_ndc }),
-        Just(Stim::BlockingStart),
-        Just(Stim::BlockingEnd),
-        Just(Stim::Commit),
-    ]
+/// Draws one stimulus, uniform over the seven variants (bool payloads fair).
+fn random_stim(rng: &mut DetRng) -> Stim {
+    match rng.gen_range(0u64..7) {
+        0 => Stim::SendInternal,
+        1 => Stim::SendExternal {
+            at_pass: rng.gen_bool(0.5),
+        },
+        2 => Stim::RecvApp {
+            dirty: rng.gen_bool(0.5),
+        },
+        3 => Stim::RecvPassedAt {
+            matching_ndc: rng.gen_bool(0.5),
+        },
+        4 => Stim::BlockingStart,
+        5 => Stim::BlockingEnd,
+        _ => Stim::Commit,
+    }
+}
+
+/// Draws a sequence of 1..max_len stimuli.
+fn random_stims(rng: &mut DetRng, max_len: u64) -> Vec<Stim> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| random_stim(rng)).collect()
 }
 
 struct Driver {
@@ -92,7 +112,11 @@ impl Driver {
             }
             Stim::RecvPassedAt { matching_ndc } => {
                 self.ctrl += 1;
-                let ndc = if *matching_ndc { self.ndc } else { self.ndc + 7 };
+                let ndc = if *matching_ndc {
+                    self.ndc
+                } else {
+                    self.ndc + 7
+                };
                 Some(Event::Deliver(Envelope::new(
                     MsgId {
                         from: ACT,
@@ -127,120 +151,173 @@ impl Driver {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
-
-    /// Peer invariants: every 0→1 dirty transition is guarded by a Type-1
-    /// checkpoint whose snapshot is clean; checkpoint actions always precede
-    /// the delivery in the same action list; `msg_sn` never decreases.
-    #[test]
-    fn peer_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+/// Peer invariants: every 0→1 dirty transition is guarded by a Type-1
+/// checkpoint whose snapshot is clean; checkpoint actions always precede
+/// the delivery in the same action list; `msg_sn` never decreases.
+#[test]
+fn peer_engine_invariants() {
+    let mut rng = DetRng::new(0xE1).stream("peer-invariants");
+    for case in 0..200 {
+        let stims = random_stims(&mut rng, 60);
         let mut engine = PeerEngine::new(MdcdConfig::modified(), PEER, ACT, SDW);
         let mut driver = Driver::new();
         let mut last_sn = 0u64;
         for stim in &stims {
-            let Some(event) = driver.event(stim, ACT) else { continue };
+            let Some(event) = driver.event(stim, ACT) else {
+                continue;
+            };
             let dirty_before = engine.dirty_bit();
             let actions = engine.handle(event);
             // Dirty transition 0 -> 1 must produce a clean Type-1 snapshot.
             if !dirty_before && engine.dirty_bit() {
                 let ckpt = actions.iter().find_map(|a| match a {
-                    Action::TakeCheckpoint { kind: CheckpointKind::Type1, engine } => Some(engine),
+                    Action::TakeCheckpoint {
+                        kind: CheckpointKind::Type1,
+                        engine,
+                    } => Some(engine),
                     _ => None,
                 });
-                let snap = ckpt.expect("contamination must be guarded by a Type-1 checkpoint");
-                prop_assert!(!snap.dirty, "Type-1 snapshot must be clean");
+                let snap = ckpt.unwrap_or_else(|| {
+                    panic!("case={case}: contamination must be guarded by a Type-1 checkpoint")
+                });
+                assert!(!snap.dirty, "case={case}: Type-1 snapshot must be clean");
             }
             // A Type-1 checkpoint is always immediately followed by the
             // delivery it guards (also inside batched BlockingEnded
             // releases).
             for (i, a) in actions.iter().enumerate() {
-                if matches!(a, Action::TakeCheckpoint { kind: CheckpointKind::Type1, .. }) {
-                    prop_assert!(
+                if matches!(
+                    a,
+                    Action::TakeCheckpoint {
+                        kind: CheckpointKind::Type1,
+                        ..
+                    }
+                ) {
+                    assert!(
                         matches!(actions.get(i + 1), Some(Action::DeliverToApp(_))),
-                        "Type-1 checkpoint must guard the next delivery"
+                        "case={case}: Type-1 checkpoint must guard the next delivery"
                     );
                 }
             }
             let sn = engine.snapshot().msg_sn.0;
-            prop_assert!(sn >= last_sn, "msg_sn must be monotone");
+            assert!(sn >= last_sn, "case={case}: msg_sn must be monotone");
             last_sn = sn;
         }
     }
+}
 
-    /// Shadow invariants: nothing is ever sent before promotion; the log
-    /// never contains validated entries; takeover re-sends exactly the
-    /// unvalidated suffix.
-    #[test]
-    fn shadow_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+/// Shadow invariants: nothing is ever sent before promotion; the log
+/// never contains validated entries; takeover re-sends exactly the
+/// unvalidated suffix.
+#[test]
+fn shadow_engine_invariants() {
+    let mut rng = DetRng::new(0xE1).stream("shadow-invariants");
+    for case in 0..200 {
+        let stims = random_stims(&mut rng, 60);
         let mut engine = ShadowEngine::new(MdcdConfig::modified(), SDW, PEER);
         let mut driver = Driver::new();
         for stim in &stims {
-            let Some(event) = driver.event(stim, PEER) else { continue };
+            let Some(event) = driver.event(stim, PEER) else {
+                continue;
+            };
             let actions = engine.handle(event);
             for a in &actions {
-                prop_assert!(!a.is_send(), "un-promoted shadow must stay silent: {a:?}");
+                assert!(
+                    !a.is_send(),
+                    "case={case}: un-promoted shadow must stay silent: {a:?}"
+                );
             }
         }
         let vr = engine.vr_act();
         let plan = engine.take_over();
         for env in &plan.resend {
-            prop_assert!(env.id.seq > vr, "validated entries must not be re-sent");
+            assert!(
+                env.id.seq > vr,
+                "case={case}: validated entries must not be re-sent"
+            );
         }
     }
+}
 
-    /// Active invariants: a pseudo checkpoint appears exactly when the
-    /// pseudo bit transitions 0→1, and its snapshot predates the send.
-    #[test]
-    fn active_engine_invariants(stims in proptest::collection::vec(stim_strategy(), 1..60)) {
+/// Active invariants: a pseudo checkpoint appears exactly when the
+/// pseudo bit transitions 0→1, and its snapshot predates the send.
+#[test]
+fn active_engine_invariants() {
+    let mut rng = DetRng::new(0xE1).stream("active-invariants");
+    for case in 0..200 {
+        let stims = random_stims(&mut rng, 60);
         let mut engine = ActiveEngine::new(MdcdConfig::modified(), ACT, SDW, PEER);
         let mut driver = Driver::new();
         for stim in &stims {
-            let Some(event) = driver.event(stim, PEER) else { continue };
+            let Some(event) = driver.event(stim, PEER) else {
+                continue;
+            };
             let batched = matches!(event, Event::BlockingEnded);
             let pseudo_before = engine.pseudo_dirty_bit();
             let halted_before = engine.is_halted();
             let actions = engine.handle(event);
             if halted_before {
-                prop_assert!(actions.is_empty(), "halted engine must be inert");
+                assert!(
+                    actions.is_empty(),
+                    "case={case}: halted engine must be inert"
+                );
                 continue;
             }
-            let has_pseudo_ckpt = actions.iter().any(|a| matches!(
-                a,
-                Action::TakeCheckpoint { kind: CheckpointKind::Pseudo, .. }
-            ));
+            let has_pseudo_ckpt = actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::TakeCheckpoint {
+                        kind: CheckpointKind::Pseudo,
+                        ..
+                    }
+                )
+            });
             let transitioned = !pseudo_before && engine.pseudo_dirty_bit();
             if !batched {
                 // A batched BlockingEnded release can both set and clear the
                 // pseudo bit; the iff relation holds per held event, not for
                 // the batch's endpoints.
-                prop_assert_eq!(
+                assert_eq!(
                     has_pseudo_ckpt, transitioned,
-                    "pseudo checkpoint iff pseudo bit transition"
+                    "case={case}: pseudo checkpoint iff pseudo bit transition"
                 );
             }
             if let Some(Action::TakeCheckpoint { engine: snap, .. }) =
                 actions.iter().find(|a| a.is_checkpoint())
             {
-                prop_assert_eq!(snap.pseudo_dirty, Some(false), "snapshot predates the send");
+                assert_eq!(
+                    snap.pseudo_dirty,
+                    Some(false),
+                    "case={case}: snapshot predates the send"
+                );
             }
-            prop_assert!(engine.dirty_bit(), "P1act is constantly dirty");
+            assert!(engine.dirty_bit(), "case={case}: P1act is constantly dirty");
         }
     }
+}
 
-    /// Blocking never drops traffic: everything held during a blocking
-    /// period is released, in order, at BlockingEnded.
-    #[test]
-    fn blocking_preserves_all_deliveries(n in 1usize..20) {
+/// Blocking never drops traffic: everything held during a blocking
+/// period is released, in order, at BlockingEnded.
+#[test]
+fn blocking_preserves_all_deliveries() {
+    let mut rng = DetRng::new(0xE1).stream("blocking-preserves");
+    for case in 0..100 {
+        let n = rng.gen_range(1u64..20) as usize;
         let mut engine = PeerEngine::new(MdcdConfig::modified(), PEER, ACT, SDW);
         engine.handle(Event::BlockingStarted);
         for seq in 1..=n as u64 {
             let held = engine.handle(Event::Deliver(Envelope::new(
-                MsgId { from: ACT, seq: MsgSeqNo(seq) },
+                MsgId {
+                    from: ACT,
+                    seq: MsgSeqNo(seq),
+                },
                 PEER,
-                MessageBody::Application { payload: vec![0], dirty: true },
+                MessageBody::Application {
+                    payload: vec![0],
+                    dirty: true,
+                },
             )));
-            prop_assert!(held.is_empty());
+            assert!(held.is_empty(), "case={case}");
         }
         let released = engine.handle(Event::BlockingEnded);
         let delivered: Vec<u64> = released
@@ -251,6 +328,6 @@ proptest! {
             })
             .collect();
         let expected: Vec<u64> = (1..=n as u64).collect();
-        prop_assert_eq!(delivered, expected);
+        assert_eq!(delivered, expected, "case={case}");
     }
 }

@@ -1,6 +1,9 @@
 //! Property tests for the generalized (N-component) containment layer.
+//!
+//! Random op sequences come from the workspace's deterministic RNG
+//! ([`DetRng`]); failures print their `case` index and replay identically.
 
-use proptest::prelude::*;
+use synergy_des::DetRng;
 use synergy_mdcd::general::{GeneralProcess, GeneralRecovery, SourceId, Taint};
 use synergy_net::ProcessId;
 
@@ -11,31 +14,42 @@ enum Op {
     Send,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..4, 1u64..5).prop_map(|(source, watermark_bump)| Op::Receive {
-            source,
-            watermark_bump
-        }),
-        (0u32..4, 0u64..20).prop_map(|(source, sn)| Op::Validate { source, sn }),
-        Just(Op::Send),
-    ]
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.gen_range(0u64..3) {
+        0 => Op::Receive {
+            source: rng.gen_range(0u64..4) as u32,
+            watermark_bump: rng.gen_range(1u64..5),
+        },
+        1 => Op::Validate {
+            source: rng.gen_range(0u64..4) as u32,
+            sn: rng.gen_range(0u64..20),
+        },
+        _ => Op::Send,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+fn random_ops(rng: &mut DetRng, max_len: u64) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| random_op(rng)).collect()
+}
 
-    /// Dirty-set truthfulness holds by construction under any op sequence:
-    /// `s ∈ dirty ⟺ seen[s] > validated[s]`, and validation horizons only
-    /// grow.
-    #[test]
-    fn dirty_set_is_derived_truthfully(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// Dirty-set truthfulness holds by construction under any op sequence:
+/// `s ∈ dirty ⟺ seen[s] > validated[s]`, and validation horizons only
+/// grow.
+#[test]
+fn dirty_set_is_derived_truthfully() {
+    let mut rng = DetRng::new(0x6E).stream("dirty-set-truthful");
+    for case in 0..300 {
+        let ops = random_ops(&mut rng, 80);
         let mut p = GeneralProcess::new(ProcessId(1), 8);
         let mut seen: std::collections::BTreeMap<u32, u64> = Default::default();
         let mut validated: std::collections::BTreeMap<u32, u64> = Default::default();
         for op in &ops {
             match op {
-                Op::Receive { source, watermark_bump } => {
+                Op::Receive {
+                    source,
+                    watermark_bump,
+                } => {
                     let w = seen.get(source).copied().unwrap_or(0) + watermark_bump;
                     seen.insert(*source, w);
                     p.on_receive(&Taint::of(SourceId(*source), w), Vec::new);
@@ -43,16 +57,19 @@ proptest! {
                 Op::Validate { source, sn } => {
                     let before = p.validated(SourceId(*source));
                     p.on_validation(SourceId(*source), *sn);
-                    prop_assert!(p.validated(SourceId(*source)) >= before, "horizon monotone");
+                    assert!(
+                        p.validated(SourceId(*source)) >= before,
+                        "case={case}: horizon monotone"
+                    );
                     let e = validated.entry(*source).or_insert(0);
                     *e = (*e).max(*sn);
                 }
                 Op::Send => {
                     let (sn, taint) = p.on_send(None);
-                    prop_assert!(sn >= 1);
+                    assert!(sn >= 1, "case={case}");
                     // Piggybacked taint equals the current exposure.
                     for (s, w) in &seen {
-                        prop_assert_eq!(taint.watermark(SourceId(*s)), *w);
+                        assert_eq!(taint.watermark(SourceId(*s)), *w, "case={case}");
                     }
                 }
             }
@@ -61,24 +78,29 @@ proptest! {
                 .filter(|(s, w)| **w > validated.get(*s).copied().unwrap_or(0))
                 .map(|(s, _)| SourceId(*s))
                 .collect();
-            prop_assert_eq!(p.dirty_set(), expected);
+            assert_eq!(p.dirty_set(), expected, "case={case}");
         }
     }
+}
 
-    /// Recovery plans never return a checkpoint that still reflects the
-    /// faulty source beyond the horizon, and roll-forward is chosen exactly
-    /// when the current state is within the horizon.
-    #[test]
-    fn recovery_plans_are_sound(
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-        faulty in 0u32..4,
-        horizon in 0u64..20,
-    ) {
+/// Recovery plans never return a checkpoint that still reflects the
+/// faulty source beyond the horizon, and roll-forward is chosen exactly
+/// when the current state is within the horizon.
+#[test]
+fn recovery_plans_are_sound() {
+    let mut rng = DetRng::new(0x6E).stream("recovery-plans-sound");
+    for case in 0..300 {
+        let ops = random_ops(&mut rng, 60);
+        let faulty = rng.gen_range(0u64..4) as u32;
+        let horizon = rng.gen_range(0u64..20);
         let mut p = GeneralProcess::new(ProcessId(1), 8);
         let mut seen: std::collections::BTreeMap<u32, u64> = Default::default();
         for op in &ops {
             match op {
-                Op::Receive { source, watermark_bump } => {
+                Op::Receive {
+                    source,
+                    watermark_bump,
+                } => {
                     let w = seen.get(source).copied().unwrap_or(0) + watermark_bump;
                     seen.insert(*source, w);
                     p.on_receive(&Taint::of(SourceId(*source), w), Vec::new);
@@ -92,30 +114,38 @@ proptest! {
         let s = SourceId(faulty);
         let current = seen.get(&faulty).copied().unwrap_or(0);
         match p.recovery_plan(s, horizon) {
-            GeneralRecovery::RollForward => prop_assert!(current <= horizon),
+            GeneralRecovery::RollForward => assert!(current <= horizon, "case={case}"),
             GeneralRecovery::RollBackTo(c) => {
-                prop_assert!(current > horizon);
-                prop_assert!(c.seen.watermark(s) <= horizon,
-                    "restored state must be within the horizon");
+                assert!(current > horizon, "case={case}");
+                assert!(
+                    c.seen.watermark(s) <= horizon,
+                    "case={case}: restored state must be within the horizon"
+                );
             }
-            GeneralRecovery::Unrecoverable => prop_assert!(current > horizon),
+            GeneralRecovery::Unrecoverable => assert!(current > horizon, "case={case}"),
         }
     }
+}
 
-    /// The checkpoint stack never exceeds its configured depth.
-    #[test]
-    fn stack_depth_is_bounded(
-        ops in proptest::collection::vec(op_strategy(), 1..100),
-        depth in 1usize..6,
-    ) {
+/// The checkpoint stack never exceeds its configured depth.
+#[test]
+fn stack_depth_is_bounded() {
+    let mut rng = DetRng::new(0x6E).stream("stack-depth-bounded");
+    for case in 0..300 {
+        let ops = random_ops(&mut rng, 100);
+        let depth = rng.gen_range(1u64..6) as usize;
         let mut p = GeneralProcess::new(ProcessId(1), depth);
         let mut next = 0u64;
         for op in &ops {
-            if let Op::Receive { source, watermark_bump } = op {
+            if let Op::Receive {
+                source,
+                watermark_bump,
+            } = op
+            {
                 next += watermark_bump;
                 p.on_receive(&Taint::of(SourceId(*source), next), Vec::new);
             }
-            prop_assert!(p.checkpoints() <= depth);
+            assert!(p.checkpoints() <= depth, "case={case}");
         }
     }
 }

@@ -32,16 +32,16 @@ mod supervisor;
 mod tb_runtime;
 
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use synergy_net::threaded::ThreadedNet;
 use synergy_net::{DeviceId, Endpoint, Envelope, ProcessId};
 
 pub use node::{NodeReport, NodeStatus};
 
-use node::{NodeCmd, NodeRunner};
+use node::{NodeCmd, NodeInput, NodeRunner};
 use supervisor::{SupEvent, Supervisor};
 
 /// `P1act`'s process id (same layout as the simulator).
@@ -91,10 +91,7 @@ impl MiddlewareConfig {
                 synergy_des::SimDuration::from_nanos(
                     u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX),
                 ),
-                synergy_clocks::SyncParams::new(
-                    synergy_des::SimDuration::from_micros(500),
-                    0.0,
-                ),
+                synergy_clocks::SyncParams::new(synergy_des::SimDuration::from_micros(500), 0.0),
                 synergy_des::SimDuration::from_micros(50),
                 self.delay
                     .end
@@ -119,7 +116,7 @@ pub struct MiddlewareReport {
 /// A running three-process guarded deployment.
 pub struct Middleware {
     net: Arc<ThreadedNet>,
-    cmd: HashMap<ProcessId, Sender<NodeCmd>>,
+    cmd: HashMap<ProcessId, Sender<NodeInput>>,
     device_rx: Receiver<Envelope>,
     supervisor: Supervisor,
     joins: Vec<std::thread::JoinHandle<NodeReport>>,
@@ -130,16 +127,17 @@ impl Middleware {
     pub fn spawn(config: MiddlewareConfig) -> Self {
         let net = Arc::new(ThreadedNet::new(config.delay.clone(), config.seed));
         let device_rx = net.register(Endpoint::Device(DEVICE));
-        let (sup_tx, sup_rx) = unbounded::<SupEvent>();
+        let (sup_tx, sup_rx) = channel::<SupEvent>();
 
         let mut cmd = HashMap::new();
         let mut joins = Vec::new();
         for pid in [P1ACT, P1SDW, P2] {
-            let (tx, rx) = unbounded::<NodeCmd>();
+            let (tx, rx) = channel::<NodeInput>();
             let runner = NodeRunner::new(
                 pid,
                 config.seed,
                 Arc::clone(&net),
+                tx.clone(),
                 rx,
                 sup_tx.clone(),
                 config.tb_config(),
@@ -177,14 +175,14 @@ impl Middleware {
             other => panic!("component must be 1 or 2, got {other}"),
         };
         for pid in targets {
-            let _ = self.cmd[pid].send(NodeCmd::Produce { external });
+            let _ = self.cmd[pid].send(NodeInput::Cmd(NodeCmd::Produce { external }));
         }
     }
 
     /// Arms (or disarms) the active version's design fault; the next
     /// acceptance test after arming fails and triggers shadow takeover.
     pub fn inject_fault(&self, active: bool) {
-        let _ = self.cmd[&P1ACT].send(NodeCmd::SetFaulty(active));
+        let _ = self.cmd[&P1ACT].send(NodeInput::Cmd(NodeCmd::SetFaulty(active)));
     }
 
     /// The channel on which device-bound (external) messages arrive.
@@ -196,8 +194,11 @@ impl Middleware {
     ///
     /// Returns `None` if the node has shut down (e.g. halted active).
     pub fn status(&self, pid: ProcessId) -> Option<NodeStatus> {
-        let (tx, rx) = unbounded();
-        self.cmd.get(&pid)?.send(NodeCmd::Status(tx)).ok()?;
+        let (tx, rx) = channel();
+        self.cmd
+            .get(&pid)?
+            .send(NodeInput::Cmd(NodeCmd::Status(tx)))
+            .ok()?;
         rx.recv_timeout(Duration::from_secs(2)).ok()
     }
 
@@ -210,7 +211,7 @@ impl Middleware {
     /// Stops everything and collects reports.
     pub fn shutdown(self) -> MiddlewareReport {
         for tx in self.cmd.values() {
-            let _ = tx.send(NodeCmd::Shutdown);
+            let _ = tx.send(NodeInput::Cmd(NodeCmd::Shutdown));
         }
         let mut report = MiddlewareReport {
             software_recoveries: self.supervisor.recoveries(),

@@ -1,21 +1,39 @@
-//! One process thread: application + MDCD engine + volatile storage.
+//! One process thread, hosting the same [`ProcessHost`] the simulator
+//! drives: application + MDCD engine + stores + ack bookkeeping.
+//!
+//! The thread is a driver in the sense of
+//! [`synergy::system::host`]: it feeds [`HostEvent`]s from its input
+//! channel and interprets the returned [`HostAction`]s against the real
+//! transport. The wall-clock TB runtime stays outside the host (the host's
+//! own TB slot is `None` here) and forwards its blocking/commit
+//! notifications through [`ProcessHost::engine_event`].
 
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
 use synergy::app::{Application, CounterApp};
 use synergy::payload::CheckpointPayload;
+use synergy::system::recovery::volatile_copy_payload;
+use synergy::system::{HostAction, HostEvent, ProcessHost, Topology};
+use synergy::Scheme;
 use synergy_des::SimTime;
-use synergy_mdcd::{
-    Action, Event, MdcdConfig, OutboundMessage, ProcessRole, RecoveryDecision,
-};
+use synergy_mdcd::{Event, ProcessRole, RecoveryDecision};
 use synergy_net::threaded::ThreadedNet;
-use synergy_net::{Endpoint, Envelope, MessageBody, ProcessId};
-use synergy_storage::VolatileStore;
+use synergy_net::{Endpoint, Envelope, ProcessId};
 
 use crate::supervisor::SupEvent;
-use crate::tb_runtime::{payload_now, TbEffect, TbRuntime};
-use crate::{DEVICE, P1ACT, P1SDW, P2};
+use crate::tb_runtime::{TbEffect, TbRuntime};
+use crate::{P1ACT, P1SDW};
+
+/// Everything a node thread can receive on its (single) input channel:
+/// transport deliveries forwarded by its network pump, and control commands.
+#[derive(Debug)]
+pub(crate) enum NodeInput {
+    /// An envelope delivered by the transport.
+    Net(Envelope),
+    /// A control command.
+    Cmd(NodeCmd),
+}
 
 /// Commands a node thread accepts.
 #[derive(Debug)]
@@ -84,20 +102,13 @@ pub struct NodeReport {
 }
 
 pub(crate) struct NodeRunner {
-    pid: ProcessId,
-    app: CounterApp,
-    engine: synergy::roles::RoleEngine,
-    volatile: VolatileStore,
+    host: ProcessHost,
     net: Arc<ThreadedNet>,
-    net_rx: Receiver<Envelope>,
-    cmd_rx: Receiver<NodeCmd>,
+    input_rx: Receiver<NodeInput>,
     sup_tx: Sender<SupEvent>,
     started: std::time::Instant,
-    delivered: u64,
-    ckpts: u64,
     halted: bool,
     dead_senders: Vec<ProcessId>,
-    sent_log: Vec<synergy::payload::SentRecord>,
     tb: Option<TbRuntime>,
 }
 
@@ -106,37 +117,48 @@ impl NodeRunner {
         pid: ProcessId,
         seed: u64,
         net: Arc<ThreadedNet>,
-        cmd_rx: Receiver<NodeCmd>,
+        input_tx: Sender<NodeInput>,
+        input_rx: Receiver<NodeInput>,
         sup_tx: Sender<SupEvent>,
         tb: Option<synergy_tb::TbConfig>,
     ) -> Self {
-        let role = match pid {
-            p if p == P1ACT => ProcessRole::Active,
-            p if p == P1SDW => ProcessRole::Shadow,
-            _ => ProcessRole::Peer,
+        let (role, node) = match pid {
+            p if p == P1ACT => (ProcessRole::Active, 0),
+            p if p == P1SDW => (ProcessRole::Shadow, 1),
+            _ => (ProcessRole::Peer, 2),
         };
+        // Pump transport deliveries into the node's input channel so the run
+        // loop has a single blocking receive. The pump thread exits when
+        // either side hangs up (transport torn down or node gone).
         let net_rx = net.register(Endpoint::Process(pid));
+        std::thread::Builder::new()
+            .name(format!("synergy-node-{pid}-net"))
+            .spawn(move || {
+                while let Ok(env) = net_rx.recv() {
+                    if input_tx.send(NodeInput::Net(env)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn net pump thread");
         NodeRunner {
-            pid,
-            app: CounterApp::new(seed ^ 0xA5A5),
-            engine: synergy::roles::RoleEngine::new(
+            // The TB layer runs wall-clock in TbRuntime, so the host's own
+            // TB slot stays empty; effects come back via engine_event.
+            host: ProcessHost::new(
                 role,
-                MdcdConfig::modified(),
-                P1ACT,
-                P1SDW,
-                P2,
+                pid,
+                node,
+                Topology::canonical(),
+                Scheme::Coordinated,
+                CounterApp::new(seed ^ 0xA5A5),
+                None,
             ),
-            volatile: VolatileStore::new(),
             net,
-            net_rx,
-            cmd_rx,
+            input_rx,
             sup_tx,
             started: std::time::Instant::now(),
-            delivered: 0,
-            ckpts: 0,
             halted: false,
             dead_senders: Vec::new(),
-            sent_log: Vec::new(),
             tb: tb.map(TbRuntime::new),
         }
     }
@@ -150,91 +172,73 @@ impl NodeRunner {
                 .and_then(TbRuntime::next_deadline)
                 .map(|d| d.saturating_duration_since(std::time::Instant::now()))
                 .unwrap_or(std::time::Duration::from_millis(50));
-            let mut stop = false;
-            crossbeam::channel::select! {
-                recv(self.net_rx) -> env => {
-                    if let Ok(env) = env {
-                        self.on_envelope(env);
-                    }
+            match self.input_rx.recv_timeout(timeout) {
+                Ok(NodeInput::Net(env)) => self.on_envelope(env),
+                Ok(NodeInput::Cmd(NodeCmd::Shutdown)) | Err(RecvTimeoutError::Disconnected) => {
+                    break
                 }
-                recv(self.cmd_rx) -> cmd => {
-                    match cmd {
-                        Ok(NodeCmd::Shutdown) | Err(_) => stop = true,
-                        Ok(cmd) => self.on_cmd(cmd),
-                    }
-                }
-                default(timeout) => {}
-            }
-            if stop {
-                break;
+                Ok(NodeInput::Cmd(cmd)) => self.on_cmd(cmd),
+                Err(RecvTimeoutError::Timeout) => {}
             }
             self.tick_tb();
         }
         NodeReport {
-            pid: self.pid,
-            delivered: self.delivered,
-            ckpts: self.ckpts,
-            at_runs: self.engine.at_runs(),
-            promoted: self.engine.role() == ProcessRole::Active && self.pid == P1SDW,
+            pid: self.host.pid,
+            delivered: self.host.delivered,
+            ckpts: self.host.volatile_seq,
+            at_runs: self.host.engine.at_runs(),
+            promoted: self.host.engine.role() == ProcessRole::Active
+                && self.host.pid == self.host.topology.shadow,
             stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
             stable_replacements: self.tb.as_ref().map_or(0, TbRuntime::replacements),
         }
     }
 
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
     fn current_payload(&self) -> CheckpointPayload {
-        payload_now(
-            self.app.snapshot(),
-            self.engine.snapshot(),
-            self.sent_log.clone(),
-            self.started.elapsed(),
-        )
+        self.host.current_payload(self.now())
     }
 
     fn tick_tb(&mut self) {
         let Some(mut tb) = self.tb.take() else { return };
-        let dirty = self.engine.checkpoint_bit();
+        let dirty = self.host.engine.checkpoint_bit();
         let current = self.current_payload();
         let vol = self
+            .host
             .volatile
             .latest()
-            .and_then(|c| CheckpointPayload::from_checkpoint(c).ok());
+            .map(|c| volatile_copy_payload(c, &self.host.acks, &self.host.recv_log));
         let effects = tb.tick(dirty, &|| current.clone(), &|| vol.clone());
         self.tb = Some(tb);
+        let now = self.now();
         for e in effects {
             match e {
                 TbEffect::BlockingStarted => {
-                    let actions = self.engine.handle(Event::BlockingStarted);
+                    let actions = self.host.engine_event(Event::BlockingStarted, now);
                     self.apply(actions);
                 }
                 TbEffect::Committed(ndc) => {
                     let mut actions = self
-                        .engine
-                        .handle(Event::StableCheckpointCommitted(ndc));
-                    actions.extend(self.engine.handle(Event::BlockingEnded));
+                        .host
+                        .engine_event(Event::StableCheckpointCommitted(ndc), now);
+                    actions.extend(self.host.engine_event(Event::BlockingEnded, now));
                     self.apply(actions);
                 }
             }
         }
     }
 
-    fn now(&self) -> SimTime {
-        SimTime::from_nanos(
-            u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        )
-    }
-
     fn on_envelope(&mut self, env: Envelope) {
-        if self.halted
-            || env.body.is_ack()
-            || self.dead_senders.contains(&env.from())
-        {
+        if self.halted || self.dead_senders.contains(&env.from()) {
             return;
         }
-        let bit_before = self.engine.checkpoint_bit();
-        let actions = self.engine.handle(Event::Deliver(env));
+        let bit_before = self.host.engine.checkpoint_bit();
+        let actions = self.host.handle(HostEvent::Deliver(env), self.now());
         self.apply(actions);
-        let bit_after = self.engine.checkpoint_bit();
-        if bit_before && !bit_after {
+        if bit_before && !self.host.engine.checkpoint_bit() {
             if let Some(mut tb) = self.tb.take() {
                 let current = self.current_payload();
                 tb.dirty_cleared(&|| current.clone());
@@ -243,84 +247,62 @@ impl NodeRunner {
         }
     }
 
+    /// The local side of a takeover/retarget: decide, roll back to the
+    /// volatile checkpoint if the decision says so, and stop listening to
+    /// the failed active.
+    fn rollback_if_decided(&mut self) {
+        let decision = self
+            .host
+            .engine
+            .recovery_decision()
+            .unwrap_or(RecoveryDecision::RollForward);
+        if decision == RecoveryDecision::RollBack {
+            let _ = self.host.rollback_to_volatile(self.now());
+        }
+        self.dead_senders.push(self.host.topology.active);
+    }
+
     fn on_cmd(&mut self, cmd: NodeCmd) {
         match cmd {
             NodeCmd::Produce { external } => {
                 if self.halted {
                     return;
                 }
-                let payload = if external {
-                    self.app.produce_external()
-                } else {
-                    self.app.produce_internal()
-                };
-                let at_pass = self.app.acceptance_test(&payload);
-                let to = if external {
-                    Endpoint::Device(DEVICE)
-                } else {
-                    Endpoint::Process(P2)
-                };
-                let actions = self.engine.handle(Event::AppSend(OutboundMessage {
-                    to,
-                    payload,
-                    external,
-                    at_pass,
-                }));
+                let actions = self
+                    .host
+                    .handle(HostEvent::Produce { external }, self.now());
                 self.apply(actions);
             }
-            NodeCmd::SetFaulty(on) => self.app.set_faulty(on),
+            NodeCmd::SetFaulty(on) => self.host.app.set_faulty(on),
             NodeCmd::TakeOver => {
-                let decision = self
-                    .engine
-                    .recovery_decision()
-                    .unwrap_or(RecoveryDecision::RollForward);
-                if decision == RecoveryDecision::RollBack {
-                    if let Some(ckpt) = self.volatile.latest_cloned() {
-                        if let Ok(p) = CheckpointPayload::from_checkpoint(&ckpt) {
-                            self.app.restore(&p.app);
-                            self.engine.restore(&p.engine);
-                            self.sent_log = p.sent.clone();
-                        }
-                    }
-                }
-                self.dead_senders.push(P1ACT);
-                let plan = self.engine.take_over();
+                self.rollback_if_decided();
+                let plan = self.host.engine.take_over();
                 for env in plan.resend {
+                    self.host.note_send(&env);
                     self.net.send(env);
                 }
-                let _ = self.sup_tx.send(SupEvent::TakeoverDone { by: self.pid });
+                let _ = self
+                    .sup_tx
+                    .send(SupEvent::TakeoverDone { by: self.host.pid });
             }
             NodeCmd::RetargetActive(new_active) => {
-                let decision = self
-                    .engine
-                    .recovery_decision()
-                    .unwrap_or(RecoveryDecision::RollForward);
-                if decision == RecoveryDecision::RollBack {
-                    if let Some(ckpt) = self.volatile.latest_cloned() {
-                        if let Ok(p) = CheckpointPayload::from_checkpoint(&ckpt) {
-                            self.app.restore(&p.app);
-                            self.engine.restore(&p.engine);
-                            self.sent_log = p.sent.clone();
-                        }
-                    }
-                }
-                self.dead_senders.push(P1ACT);
-                if let Some(peer) = self.engine.as_peer_mut() {
+                self.rollback_if_decided();
+                if let Some(peer) = self.host.engine.as_peer_mut() {
                     peer.retarget_active(new_active);
                 }
             }
             NodeCmd::Halt => self.halted = true,
             NodeCmd::Status(tx) => {
-                let snap = self.engine.snapshot();
+                let snap = self.host.engine.snapshot();
                 let _ = tx.send(NodeStatus {
-                    pid: self.pid,
-                    role: self.engine.role(),
-                    dirty: self.engine.dirty_bit(),
+                    pid: self.host.pid,
+                    role: self.host.engine.role(),
+                    dirty: self.host.engine.dirty_bit(),
                     promoted: snap.promoted,
                     logged: snap.log.len(),
-                    ckpts: self.ckpts,
-                    at_runs: self.engine.at_runs(),
-                    delivered: self.delivered,
+                    ckpts: self.host.volatile_seq,
+                    at_runs: self.host.engine.at_runs(),
+                    delivered: self.host.delivered,
                     halted: self.halted,
                     stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
                 });
@@ -329,46 +311,31 @@ impl NodeRunner {
         }
     }
 
-    fn apply(&mut self, actions: Vec<Action>) {
+    fn apply(&mut self, actions: Vec<HostAction>) {
         for action in actions {
             match action {
-                Action::Send(env) => {
-                    if let (MessageBody::Application { .. }, Endpoint::Process(p)) =
-                        (&env.body, env.to)
-                    {
-                        self.sent_log.push(synergy::payload::SentRecord {
-                            to: p,
-                            seq: env.id.seq,
-                        });
-                    }
-                    self.net.send(env);
-                }
-                Action::TakeCheckpoint { kind, engine } => {
-                    self.ckpts += 1;
-                    let payload = CheckpointPayload::new(
-                        self.app.snapshot(),
-                        engine,
-                        Vec::new(),
-                        self.sent_log.clone(),
-                        self.now(),
-                    );
-                    if let Ok(ckpt) = payload.into_checkpoint(self.ckpts, kind.to_string()) {
-                        self.volatile.save(ckpt);
-                    }
-                }
-                Action::DeliverToApp(env) => {
-                    if let MessageBody::Application { payload, .. } = &env.body {
-                        self.app.on_message(env.from(), env.id.seq, payload);
-                        self.delivered += 1;
-                    }
-                }
-                Action::AtPerformed { .. } => {}
-                Action::SoftwareErrorDetected => {
-                    self.halted = self.pid == P1ACT;
+                HostAction::Send(env) | HostAction::SendAck(env) => self.net.send(env),
+                HostAction::SoftwareErrorDetected => {
+                    self.halted = self.host.pid == self.host.topology.active;
                     let _ = self.sup_tx.send(SupEvent::SoftwareError {
-                        detected_by: self.pid,
+                        detected_by: self.host.pid,
                     });
                 }
+                // Deliveries, checkpoints and acceptance tests are already
+                // counted by the host; trace lines and TB scheduling have
+                // no driver-side effect in the threaded runtime (the host
+                // runs without an embedded TB engine here).
+                HostAction::Delivered
+                | HostAction::AtPerformed { .. }
+                | HostAction::VolatileSaved { .. }
+                | HostAction::WriteThroughCommitted
+                | HostAction::StableWriteBegun { .. }
+                | HostAction::StableReplaced
+                | HostAction::StableCommitted { .. }
+                | HostAction::BlockingStarted { .. }
+                | HostAction::ScheduleTimer { .. }
+                | HostAction::ResyncRequested
+                | HostAction::Record { .. } => {}
             }
         }
     }

@@ -7,13 +7,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
 use synergy_net::ProcessId;
 
-use crate::node::NodeCmd;
+use crate::node::{NodeCmd, NodeInput};
 use crate::{P1ACT, P1SDW, P2};
 
 /// Events nodes report to the supervisor.
@@ -40,7 +40,7 @@ pub(crate) struct Supervisor {
 }
 
 impl Supervisor {
-    pub fn spawn(rx: Receiver<SupEvent>, cmd: HashMap<ProcessId, Sender<NodeCmd>>) -> Self {
+    pub fn spawn(rx: Receiver<SupEvent>, cmd: HashMap<ProcessId, Sender<NodeInput>>) -> Self {
         let recoveries = Arc::new(AtomicU64::new(0));
         let counter = Arc::clone(&recoveries);
         let handle = std::thread::Builder::new()
@@ -53,9 +53,9 @@ impl Supervisor {
                             recovering = true;
                             // error_recovery(P1sdw, P2): halt the active,
                             // promote the shadow, retarget the peer.
-                            let _ = cmd[&P1ACT].send(NodeCmd::Halt);
-                            let _ = cmd[&P1SDW].send(NodeCmd::TakeOver);
-                            let _ = cmd[&P2].send(NodeCmd::RetargetActive(P1SDW));
+                            let _ = cmd[&P1ACT].send(NodeInput::Cmd(NodeCmd::Halt));
+                            let _ = cmd[&P1SDW].send(NodeInput::Cmd(NodeCmd::TakeOver));
+                            let _ = cmd[&P2].send(NodeInput::Cmd(NodeCmd::RetargetActive(P1SDW)));
                         }
                         SupEvent::SoftwareError { .. } => {}
                         SupEvent::TakeoverDone { .. } => {

@@ -17,7 +17,6 @@ use std::time::{Duration, Instant};
 
 use synergy::payload::CheckpointPayload;
 use synergy_clocks::LocalTime;
-use synergy_des::SimTime;
 use synergy_storage::StableStore;
 use synergy_tb::{Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine};
 
@@ -60,9 +59,7 @@ impl TbRuntime {
     }
 
     fn local_now(&self) -> LocalTime {
-        LocalTime::from_nanos(
-            u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        )
+        LocalTime::from_nanos(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 
     fn to_instant(&self, local: LocalTime) -> Instant {
@@ -124,7 +121,9 @@ impl TbRuntime {
             if now >= t && self.blocking_until.is_none() {
                 self.next_timer = None;
                 let now_local = self.local_now();
-                let actions = self.engine.handle(TbEvent::TimerExpired { now_local, dirty });
+                let actions = self
+                    .engine
+                    .handle(TbEvent::TimerExpired { now_local, dirty });
                 for a in actions {
                     match a {
                         TbAction::BeginStableWrite { contents, .. } => {
@@ -184,27 +183,11 @@ impl TbRuntime {
     }
 }
 
-/// Builds a `CheckpointPayload` helper for middleware nodes.
-pub(crate) fn payload_now(
-    app_snapshot: Vec<u8>,
-    engine: synergy_mdcd::EngineSnapshot,
-    sent: Vec<synergy::payload::SentRecord>,
-    since_start: Duration,
-) -> CheckpointPayload {
-    CheckpointPayload::new(
-        app_snapshot,
-        engine,
-        Vec::new(),
-        sent,
-        SimTime::from_nanos(u64::try_from(since_start.as_nanos()).unwrap_or(u64::MAX)),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use synergy_clocks::SyncParams;
-    use synergy_des::SimDuration;
+    use synergy_des::{SimDuration, SimTime};
     use synergy_mdcd::EngineSnapshot;
     use synergy_tb::TbVariant;
 
@@ -219,7 +202,13 @@ mod tests {
     }
 
     fn payload() -> CheckpointPayload {
-        payload_now(vec![1, 2, 3], EngineSnapshot::default(), Vec::new(), Duration::ZERO)
+        CheckpointPayload::new(
+            vec![1, 2, 3],
+            EngineSnapshot::default(),
+            Vec::new(),
+            Vec::new(),
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -232,9 +221,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(rt.commits() >= 2, "expected periodic commits");
-        assert!(effects
-            .iter()
-            .any(|e| matches!(e, TbEffect::Committed(_))));
+        assert!(effects.iter().any(|e| matches!(e, TbEffect::Committed(_))));
         assert!(rt.latest().is_some());
     }
 
@@ -255,7 +242,10 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         let latest = rt.latest().expect("committed");
-        assert_eq!(latest.app, vol.app, "dirty process persists the volatile copy");
+        assert_eq!(
+            latest.app, vol.app,
+            "dirty process persists the volatile copy"
+        );
         assert_eq!(latest.state_time(), SimTime::from_nanos(42));
     }
 

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::codec_struct;
 
 use crate::message::{Envelope, MsgId};
 
@@ -28,10 +28,12 @@ use crate::message::{Envelope, MsgId};
 /// assert!(tracker.on_ack(id));
 /// assert!(tracker.unacked().is_empty());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AckTracker {
     pending: BTreeMap<MsgId, Envelope>,
 }
+
+codec_struct!(AckTracker { pending });
 
 impl AckTracker {
     /// Creates an empty tracker.

@@ -1,6 +1,5 @@
 //! Message-delivery delay models.
 
-use rand::Rng;
 use synergy_des::{DetRng, SimDuration};
 
 /// How long a link takes to deliver one message.

@@ -1,6 +1,5 @@
 //! Link-level fault injection.
 
-use rand::Rng;
 use synergy_des::DetRng;
 
 /// Probabilistic message loss and duplication on a link.

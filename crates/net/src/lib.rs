@@ -9,8 +9,8 @@
 //!   enforcing per-link FIFO order, bounded delays `[tmin, tmax]`, and
 //!   optional loss/duplication injection. The DES driver in the `synergy`
 //!   crate turns those answers into scheduled events.
-//! * [`threaded::ThreadedNet`]: a crossbeam-channel transport with a delivery
-//!   thread, used by the `synergy-middleware` runtime.
+//! * [`threaded::ThreadedNet`]: a channel transport with a delivery thread,
+//!   used by the `synergy-middleware` runtime.
 //!
 //! The time-based checkpointing protocol only relies on the delay bounds and
 //! on acknowledgment bookkeeping ([`AckTracker`]), which is why a simulated

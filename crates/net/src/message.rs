@@ -2,12 +2,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
+use synergy_codec::{codec_newtype, codec_struct, Codec, CodecError, Reader};
 
 /// Identifies a protocol process (e.g. `P1act`, `P1sdw`, `P2`).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(pub u32);
 
 impl fmt::Display for ProcessId {
@@ -17,9 +15,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifies an external system (device) that receives external messages.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DeviceId(pub u32);
 
 impl fmt::Display for DeviceId {
@@ -29,7 +25,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// A message destination: another process or an external device.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Endpoint {
     /// An interacting process inside the system.
     Process(ProcessId),
@@ -60,9 +56,7 @@ impl From<DeviceId> for Endpoint {
 }
 
 /// A per-sender application message sequence number (`msg_SN` in the paper).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MsgSeqNo(pub u64);
 
 impl MsgSeqNo {
@@ -90,9 +84,7 @@ impl fmt::Display for MsgSeqNo {
 /// Piggybacked on `passed_AT` notifications so a receiver can tell whether
 /// the notification was sent in the same checkpointing epoch (see paper §3
 /// and §4.2).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CkptSeqNo(pub u64);
 
 impl CkptSeqNo {
@@ -110,7 +102,7 @@ impl fmt::Display for CkptSeqNo {
 }
 
 /// Globally unique message identifier: sender plus per-sender sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId {
     /// The sending process.
     pub from: ProcessId,
@@ -125,7 +117,7 @@ impl fmt::Display for MsgId {
 }
 
 /// The body of a message, mirroring the message classes of the paper.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MessageBody {
     /// An internal application-purpose message between processes. The
     /// sender's dirty bit is piggybacked (`append(m, dirty_bit)`, Appendix A).
@@ -180,7 +172,7 @@ impl MessageBody {
 }
 
 /// A routed message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
     /// Unique identifier (sender + sequence).
     pub id: MsgId,
@@ -203,6 +195,79 @@ impl Envelope {
     /// The sending process.
     pub fn from(&self) -> ProcessId {
         self.id.from
+    }
+}
+
+codec_newtype!(ProcessId);
+codec_newtype!(DeviceId);
+codec_newtype!(MsgSeqNo);
+codec_newtype!(CkptSeqNo);
+codec_struct!(MsgId { from, seq });
+codec_struct!(Envelope { id, to, body });
+
+impl Codec for Endpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Endpoint::Process(p) => {
+                0u32.encode(out);
+                p.encode(out);
+            }
+            Endpoint::Device(d) => {
+                1u32.encode(out);
+                d.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(r)? {
+            0 => Ok(Endpoint::Process(ProcessId::decode(r)?)),
+            1 => Ok(Endpoint::Device(DeviceId::decode(r)?)),
+            other => Err(CodecError::InvalidVariant(other)),
+        }
+    }
+}
+
+impl Codec for MessageBody {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MessageBody::Application { payload, dirty } => {
+                0u32.encode(out);
+                payload.encode(out);
+                dirty.encode(out);
+            }
+            MessageBody::External { payload } => {
+                1u32.encode(out);
+                payload.encode(out);
+            }
+            MessageBody::PassedAt { msg_sn, ndc } => {
+                2u32.encode(out);
+                msg_sn.encode(out);
+                ndc.encode(out);
+            }
+            MessageBody::Ack { of } => {
+                3u32.encode(out);
+                of.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(r)? {
+            0 => Ok(MessageBody::Application {
+                payload: Vec::decode(r)?,
+                dirty: bool::decode(r)?,
+            }),
+            1 => Ok(MessageBody::External {
+                payload: Vec::decode(r)?,
+            }),
+            2 => Ok(MessageBody::PassedAt {
+                msg_sn: MsgSeqNo::decode(r)?,
+                ndc: CkptSeqNo::decode(r)?,
+            }),
+            3 => Ok(MessageBody::Ack {
+                of: MsgId::decode(r)?,
+            }),
+            other => Err(CodecError::InvalidVariant(other)),
+        }
     }
 }
 
@@ -284,20 +349,43 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let env = Envelope::new(
-            MsgId {
-                from: ProcessId(1),
-                seq: MsgSeqNo(7),
+    fn codec_roundtrip() {
+        let bodies = [
+            MessageBody::Application {
+                payload: vec![1, 2],
+                dirty: true,
             },
-            DeviceId(3),
             MessageBody::External {
                 payload: vec![9, 8, 7],
             },
-        );
-        // serde_json is not in our dependency set; a structural clone check
-        // plus the derive compiling is the contract here.
-        let clone = env.clone();
-        assert_eq!(env, clone);
+            MessageBody::PassedAt {
+                msg_sn: MsgSeqNo(3),
+                ndc: CkptSeqNo(1),
+            },
+            MessageBody::Ack {
+                of: MsgId {
+                    from: ProcessId(2),
+                    seq: MsgSeqNo(5),
+                },
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let to: Endpoint = if i % 2 == 0 {
+                ProcessId(2).into()
+            } else {
+                DeviceId(3).into()
+            };
+            let env = Envelope::new(
+                MsgId {
+                    from: ProcessId(1),
+                    seq: MsgSeqNo(7 + i as u64),
+                },
+                to,
+                body,
+            );
+            let bytes = synergy_codec::to_bytes(&env).unwrap();
+            let back: Envelope = synergy_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, env);
+        }
     }
 }

@@ -293,7 +293,10 @@ mod tests {
     fn per_link_override_beats_default() {
         let mut n = net(DelayModel::Fixed(SimDuration::from_millis(5)));
         let e = env(0);
-        n.set_link_delay(LinkKey::of(&e), DelayModel::Fixed(SimDuration::from_millis(1)));
+        n.set_link_delay(
+            LinkKey::of(&e),
+            DelayModel::Fixed(SimDuration::from_millis(1)),
+        );
         match n.route(SimTime::ZERO, &e) {
             RouteDecision::Deliver { at, .. } => assert_eq!(at, SimTime::from_nanos(1_000_000)),
             RouteDecision::Dropped => panic!("unexpected drop"),

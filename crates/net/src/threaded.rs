@@ -7,12 +7,11 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::Rng;
 use synergy_des::DetRng;
 
 use crate::message::{Endpoint, Envelope};
@@ -54,7 +53,7 @@ struct State {
     next_seq: u64,
 }
 
-/// A real-time in-process transport built on crossbeam channels.
+/// A real-time in-process transport built on standard-library channels.
 ///
 /// # Example
 ///
@@ -117,7 +116,7 @@ impl ThreadedNet {
     /// Re-registering an endpoint replaces the previous channel (the old
     /// receiver stops seeing new messages).
     pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let mut state = self.shared.queue.lock().expect("net lock");
         state.endpoints.insert(endpoint, tx);
         rx
@@ -205,11 +204,7 @@ fn delivery_loop(shared: Arc<Shared>) {
             .map(|Reverse(p)| p.at.saturating_duration_since(Instant::now()));
         state = match wait {
             Some(d) if d > Duration::ZERO => {
-                shared
-                    .wakeup
-                    .wait_timeout(state, d)
-                    .expect("net lock")
-                    .0
+                shared.wakeup.wait_timeout(state, d).expect("net lock").0
             }
             Some(_) => state, // something due immediately: loop again
             None => shared.wakeup.wait(state).expect("net lock"),

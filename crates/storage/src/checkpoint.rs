@@ -2,8 +2,7 @@
 
 use core::fmt;
 
-use serde::de::DeserializeOwned;
-use serde::{Deserialize, Serialize};
+use synergy_codec::{codec_struct, Codec};
 use synergy_des::SimTime;
 
 use crate::codec::{self, CodecError};
@@ -68,7 +67,7 @@ impl From<CodecError> for CheckpointError {
 /// assert_eq!(ckpt.seq(), 3);
 /// # Ok::<(), synergy_storage::CheckpointError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Checkpoint {
     seq: u64,
     taken_at_nanos: u64,
@@ -77,6 +76,14 @@ pub struct Checkpoint {
     crc: u32,
 }
 
+codec_struct!(Checkpoint {
+    seq,
+    taken_at_nanos,
+    label,
+    data,
+    crc
+});
+
 impl Checkpoint {
     /// Serializes `state` into a new checkpoint record.
     ///
@@ -84,7 +91,7 @@ impl Checkpoint {
     ///
     /// Returns [`CheckpointError::Codec`] when `state` cannot be represented
     /// in the binary format (e.g. unknown-length sequences).
-    pub fn encode<T: Serialize + ?Sized>(
+    pub fn encode<T: Codec>(
         seq: u64,
         taken_at: SimTime,
         label: impl Into<String>,
@@ -107,7 +114,7 @@ impl Checkpoint {
     ///
     /// Returns [`CheckpointError::CrcMismatch`] when the bytes were corrupted
     /// and [`CheckpointError::Codec`] when they do not decode as `T`.
-    pub fn decode<T: DeserializeOwned>(&self) -> Result<T, CheckpointError> {
+    pub fn decode<T: Codec>(&self) -> Result<T, CheckpointError> {
         let actual = crc32(&self.data);
         if actual != self.crc {
             return Err(CheckpointError::CrcMismatch {
@@ -155,13 +162,14 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[derive(PartialEq, Debug)]
     struct AppState {
         counter: u64,
         pending: Vec<String>,
     }
+
+    codec_struct!(AppState { counter, pending });
 
     fn sample() -> AppState {
         AppState {

@@ -1,843 +1,19 @@
-//! A compact, non-self-describing binary serde format.
+//! The checkpoint binary format, re-exported from [`synergy_codec`].
 //!
-//! Layout rules:
-//!
-//! * integers: fixed-width little-endian (`u8`..`u128`, `i8`..`i128`);
-//! * `bool`: one byte (`0`/`1`, anything else is an error);
-//! * `f32`/`f64`: IEEE-754 little-endian bits;
-//! * `char`: `u32` scalar value;
-//! * `str` / `bytes`: `u64` length prefix + raw bytes;
-//! * `Option`: one tag byte (`0` = `None`, `1` = `Some`) + payload;
-//! * sequences / maps: `u64` length prefix + elements (unknown-length
-//!   sequences are rejected);
-//! * structs / tuples: fields in declaration order, no framing;
-//! * enums: `u32` variant index + variant payload.
-//!
-//! The format is not self-describing, so [`from_bytes`] must be called with
-//! the exact type that produced the bytes; every [`Checkpoint`]
-//! (`crate::Checkpoint`) additionally carries a CRC-32 to catch mismatches
-//! and corruption.
+//! The format lived here historically; it is now the workspace-wide
+//! `synergy-codec` crate so protocol crates can serialize without depending
+//! on the storage layer. This module keeps the `synergy_storage::codec::*`
+//! paths working.
 //!
 //! # Example
 //!
 //! ```rust
-//! use serde::{Deserialize, Serialize};
 //! use synergy_storage::codec::{from_bytes, to_bytes};
 //!
-//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
-//! struct State { counter: u64, log: Vec<String> }
-//!
-//! let state = State { counter: 7, log: vec!["a".into(), "b".into()] };
+//! let state = (7u64, vec!["a".to_string(), "b".to_string()]);
 //! let bytes = to_bytes(&state).unwrap();
-//! let back: State = from_bytes(&bytes).unwrap();
+//! let back: (u64, Vec<String>) = from_bytes(&bytes).unwrap();
 //! assert_eq!(back, state);
 //! ```
 
-use core::fmt;
-
-use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
-use serde::{ser, Deserialize, Serialize};
-
-/// Errors produced by the binary codec.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// A `Display` message from serde itself.
-    Message(String),
-    /// Input ended before the value was complete.
-    UnexpectedEof,
-    /// Bytes remained after the value was fully read.
-    TrailingBytes(usize),
-    /// A boolean byte was neither 0 nor 1.
-    InvalidBool(u8),
-    /// A `char` scalar value was invalid.
-    InvalidChar(u32),
-    /// A string was not valid UTF-8.
-    InvalidUtf8,
-    /// An `Option` tag byte was neither 0 nor 1.
-    InvalidOptionTag(u8),
-    /// A length prefix exceeded the remaining input.
-    LengthOverflow(u64),
-    /// The format cannot represent this construct.
-    Unsupported(&'static str),
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CodecError::Message(m) => write!(f, "{m}"),
-            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
-            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
-            CodecError::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
-            CodecError::InvalidChar(c) => write!(f, "invalid char scalar {c}"),
-            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
-            CodecError::InvalidOptionTag(b) => write!(f, "invalid option tag {b}"),
-            CodecError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds input"),
-            CodecError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-impl ser::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
-}
-
-impl de::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
-}
-
-/// Serializes `value` into a fresh byte vector.
-///
-/// # Errors
-///
-/// Returns [`CodecError::Unsupported`] for unknown-length sequences and
-/// [`CodecError::Message`] for type-driven serde failures.
-pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut ser = BinSerializer { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
-}
-
-/// Deserializes a value of type `T` from `bytes`, requiring every byte to be
-/// consumed.
-///
-/// # Errors
-///
-/// Returns a [`CodecError`] when the input is truncated, malformed, or longer
-/// than the encoded value.
-pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, CodecError> {
-    let mut de = BinDeserializer { input: bytes };
-    let value = T::deserialize(&mut de)?;
-    if de.input.is_empty() {
-        Ok(value)
-    } else {
-        Err(CodecError::TrailingBytes(de.input.len()))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Serializer
-// ---------------------------------------------------------------------------
-
-struct BinSerializer {
-    out: Vec<u8>,
-}
-
-impl BinSerializer {
-    fn write_len(&mut self, len: usize) {
-        self.out.extend_from_slice(&(len as u64).to_le_bytes());
-    }
-}
-
-impl<'a> ser::Serializer for &'a mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    type SerializeSeq = Compound<'a>;
-    type SerializeTuple = Compound<'a>;
-    type SerializeTupleStruct = Compound<'a>;
-    type SerializeTupleVariant = Compound<'a>;
-    type SerializeMap = Compound<'a>;
-    type SerializeStruct = Compound<'a>;
-    type SerializeStructVariant = Compound<'a>;
-
-    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
-        self.out.push(u8::from(v));
-        Ok(())
-    }
-    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
-        self.out.push(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), CodecError> {
-        self.serialize_u32(v as u32)
-    }
-    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
-        self.write_len(v.len());
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
-    }
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
-        self.write_len(v.len());
-        self.out.extend_from_slice(v);
-        Ok(())
-    }
-    fn serialize_none(self) -> Result<(), CodecError> {
-        self.out.push(0);
-        Ok(())
-    }
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
-        self.out.push(1);
-        value.serialize(self)
-    }
-    fn serialize_unit(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)
-    }
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(self)
-    }
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)?;
-        value.serialize(self)
-    }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
-        let len = len.ok_or(CodecError::Unsupported("unknown-length sequence"))?;
-        self.write_len(len);
-        Ok(Compound { ser: self })
-    }
-    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { ser: self })
-    }
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { ser: self })
-    }
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(Compound { ser: self })
-    }
-    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
-        let len = len.ok_or(CodecError::Unsupported("unknown-length map"))?;
-        self.write_len(len);
-        Ok(Compound { ser: self })
-    }
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { ser: self })
-    }
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(Compound { ser: self })
-    }
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct Compound<'a> {
-    ser: &'a mut BinSerializer,
-}
-
-impl ser::SerializeSeq for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeTuple for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeTupleStruct for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeTupleVariant for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeMap for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
-        key.serialize(&mut *self.ser)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeStruct for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-impl ser::SerializeStructVariant for Compound<'_> {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut *self.ser)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Deserializer
-// ---------------------------------------------------------------------------
-
-struct BinDeserializer<'de> {
-    input: &'de [u8],
-}
-
-impl<'de> BinDeserializer<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
-        if self.input.len() < n {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let (head, tail) = self.input.split_at(n);
-        self.input = tail;
-        Ok(head)
-    }
-
-    fn read_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn read_u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
-    }
-
-    fn read_u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    fn read_len(&mut self) -> Result<usize, CodecError> {
-        let len = self.read_u64()?;
-        if len > self.input.len() as u64 {
-            return Err(CodecError::LengthOverflow(len));
-        }
-        Ok(len as usize)
-    }
-}
-
-macro_rules! de_int {
-    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-            let b = self.take($n)?;
-            visitor.$visit(<$ty>::from_le_bytes(b.try_into().expect("sized")))
-        }
-    };
-}
-
-impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
-    type Error = CodecError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Unsupported("deserialize_any (not self-describing)"))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.read_u8()? {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            b => Err(CodecError::InvalidBool(b)),
-        }
-    }
-
-    de_int!(deserialize_i8, visit_i8, i8, 1);
-    de_int!(deserialize_i16, visit_i16, i16, 2);
-    de_int!(deserialize_i32, visit_i32, i32, 4);
-    de_int!(deserialize_i64, visit_i64, i64, 8);
-    de_int!(deserialize_i128, visit_i128, i128, 16);
-    de_int!(deserialize_u16, visit_u16, u16, 2);
-    de_int!(deserialize_u32, visit_u32, u32, 4);
-    de_int!(deserialize_u64, visit_u64, u64, 8);
-    de_int!(deserialize_u128, visit_u128, u128, 16);
-    de_int!(deserialize_f32, visit_f32, f32, 4);
-    de_int!(deserialize_f64, visit_f64, f64, 8);
-
-    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let v = self.read_u8()?;
-        visitor.visit_u8(v)
-    }
-
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let scalar = self.read_u32()?;
-        let c = char::from_u32(scalar).ok_or(CodecError::InvalidChar(scalar))?;
-        visitor.visit_char(c)
-    }
-
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.read_len()?;
-        let bytes = self.take(len)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
-        visitor.visit_borrowed_str(s)
-    }
-
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.read_len()?;
-        let bytes = self.take(len)?;
-        visitor.visit_borrowed_bytes(bytes)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.read_u8()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            b => Err(CodecError::InvalidOptionTag(b)),
-        }
-    }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.read_len()?;
-        visitor.visit_seq(CountedAccess {
-            de: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess {
-            de: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.read_len()?;
-        visitor.visit_map(CountedAccess {
-            de: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_enum(VariantTag { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Unsupported("identifier"))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        Err(CodecError::Unsupported("ignored_any (not self-describing)"))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct CountedAccess<'a, 'de> {
-    de: &'a mut BinDeserializer<'de>,
-    remaining: usize,
-}
-
-impl<'de> de::SeqAccess<'de> for CountedAccess<'_, 'de> {
-    type Error = CodecError;
-    fn next_element_seed<T: DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-impl<'de> de::MapAccess<'de> for CountedAccess<'_, 'de> {
-    type Error = CodecError;
-    fn next_key_seed<K: DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
-        seed.deserialize(&mut *self.de)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-struct VariantTag<'a, 'de> {
-    de: &'a mut BinDeserializer<'de>,
-}
-
-impl<'de> de::EnumAccess<'de> for VariantTag<'_, 'de> {
-    type Error = CodecError;
-    type Variant = Self;
-    fn variant_seed<V: DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self), CodecError> {
-        let index = self.de.read_u32()?;
-        let value = seed.deserialize(index.into_deserializer())?;
-        Ok((value, self))
-    }
-}
-
-impl<'de> de::VariantAccess<'de> for VariantTag<'_, 'de> {
-    type Error = CodecError;
-    fn unit_variant(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
-        seed.deserialize(self.de)
-    }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::BTreeMap;
-
-    fn roundtrip<T>(value: &T)
-    where
-        T: Serialize + for<'de> Deserialize<'de> + PartialEq + fmt::Debug,
-    {
-        let bytes = to_bytes(value).expect("serialize");
-        let back: T = from_bytes(&bytes).expect("deserialize");
-        assert_eq!(&back, value);
-    }
-
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
-    struct Nested {
-        name: String,
-        data: Vec<u8>,
-        ratio: f64,
-    }
-
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
-    enum Kind {
-        Unit,
-        One(u32),
-        Pair(u8, u8),
-        Struct { a: bool, b: Option<i64> },
-    }
-
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
-    struct Everything {
-        flag: bool,
-        small: i8,
-        big: u128,
-        ch: char,
-        text: String,
-        opt_none: Option<u16>,
-        opt_some: Option<u16>,
-        list: Vec<Nested>,
-        map: BTreeMap<String, u64>,
-        kinds: Vec<Kind>,
-        tuple: (u8, String, f32),
-        unit: (),
-    }
-
-    #[test]
-    fn primitives_roundtrip() {
-        roundtrip(&true);
-        roundtrip(&false);
-        roundtrip(&0xAB_u8);
-        roundtrip(&-123_i64);
-        roundtrip(&u128::MAX);
-        roundtrip(&1.618_033_98_f64);
-        roundtrip(&'λ');
-        roundtrip(&"héllo wörld".to_string());
-        roundtrip(&Option::<u32>::None);
-        roundtrip(&Some(99_u32));
-    }
-
-    #[test]
-    fn compound_roundtrip() {
-        let value = Everything {
-            flag: true,
-            small: -5,
-            big: 1 << 100,
-            ch: '☃',
-            text: "checkpoint".into(),
-            opt_none: None,
-            opt_some: Some(7),
-            list: vec![
-                Nested {
-                    name: "a".into(),
-                    data: vec![1, 2, 3],
-                    ratio: 0.5,
-                },
-                Nested {
-                    name: String::new(),
-                    data: vec![],
-                    ratio: -1.0,
-                },
-            ],
-            map: BTreeMap::from([("x".into(), 1), ("y".into(), 2)]),
-            kinds: vec![
-                Kind::Unit,
-                Kind::One(42),
-                Kind::Pair(1, 2),
-                Kind::Struct {
-                    a: false,
-                    b: Some(-9),
-                },
-            ],
-            tuple: (255, "t".into(), 1.25),
-            unit: (),
-        };
-        roundtrip(&value);
-    }
-
-    #[test]
-    fn truncated_input_errors() {
-        let bytes = to_bytes(&12345678_u64).unwrap();
-        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEof);
-    }
-
-    #[test]
-    fn trailing_bytes_rejected() {
-        let mut bytes = to_bytes(&1_u8).unwrap();
-        bytes.push(0);
-        assert!(matches!(
-            from_bytes::<u8>(&bytes),
-            Err(CodecError::TrailingBytes(1))
-        ));
-    }
-
-    #[test]
-    fn bad_bool_rejected() {
-        assert_eq!(from_bytes::<bool>(&[2]), Err(CodecError::InvalidBool(2)));
-    }
-
-    #[test]
-    fn bad_option_tag_rejected() {
-        assert_eq!(
-            from_bytes::<Option<u8>>(&[9, 0]),
-            Err(CodecError::InvalidOptionTag(9))
-        );
-    }
-
-    #[test]
-    fn hostile_length_prefix_rejected() {
-        // A sequence claiming u64::MAX elements must fail fast, not allocate.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(
-            from_bytes::<Vec<u8>>(&bytes),
-            Err(CodecError::LengthOverflow(_))
-        ));
-    }
-
-    #[test]
-    fn invalid_utf8_rejected() {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&2u64.to_le_bytes());
-        bytes.extend_from_slice(&[0xFF, 0xFE]);
-        assert_eq!(from_bytes::<String>(&bytes), Err(CodecError::InvalidUtf8));
-    }
-
-    #[test]
-    fn encoding_is_deterministic() {
-        let v = vec!["a".to_string(), "bb".to_string()];
-        assert_eq!(to_bytes(&v).unwrap(), to_bytes(&v).unwrap());
-    }
-
-    #[test]
-    fn fixed_width_integer_layout() {
-        // The format contract: u32 is exactly 4 LE bytes.
-        assert_eq!(to_bytes(&0x0403_0201_u32).unwrap(), vec![1, 2, 3, 4]);
-        // Strings are 8-byte length + bytes.
-        let s = to_bytes("ab").unwrap();
-        assert_eq!(s.len(), 10);
-        assert_eq!(&s[8..], b"ab");
-    }
-
-    #[test]
-    fn error_display_messages() {
-        assert!(CodecError::UnexpectedEof.to_string().contains("end of input"));
-        assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
-    }
-}
+pub use synergy_codec::{from_bytes, to_bytes, Codec, CodecError, Reader};

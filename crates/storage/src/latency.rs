@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn instant_disk_is_free() {
-        assert_eq!(DiskModel::instant().write_duration(1 << 20), SimDuration::ZERO);
+        assert_eq!(
+            DiskModel::instant().write_duration(1 << 20),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

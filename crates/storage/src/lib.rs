@@ -7,9 +7,9 @@
 //! contents when a `passed_AT` notification lands inside the blocking period
 //! (paper §4.2, `write_disk(initial, expected_bit, alternative)`).
 //!
-//! Because no serialization *format* crate is available offline, this crate
-//! ships its own compact little-endian binary serde format ([`codec`]),
-//! protected by a CRC-32 in every [`Checkpoint`] record.
+//! Checkpoints are serialized with the workspace's compact little-endian
+//! binary format (re-exported here as [`codec`]) and protected by a CRC-32
+//! in every [`Checkpoint`] record.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -22,7 +22,11 @@ fn main() {
         }
     }
     let mut device_msgs = 0;
-    while mw.device_rx().recv_timeout(Duration::from_millis(300)).is_ok() {
+    while mw
+        .device_rx()
+        .recv_timeout(Duration::from_millis(300))
+        .is_ok()
+    {
         device_msgs += 1;
     }
     println!("guarded operation: {device_msgs} validated device messages delivered");
@@ -45,11 +49,11 @@ fn main() {
     // Service continues on the promoted shadow.
     std::thread::sleep(Duration::from_millis(100));
     mw.produce(1, true);
-    let served = mw
-        .device_rx()
-        .recv_timeout(Duration::from_secs(2))
-        .is_ok();
-    println!("external service after takeover: {}", if served { "OK" } else { "FAILED" });
+    let served = mw.device_rx().recv_timeout(Duration::from_secs(2)).is_ok();
+    println!(
+        "external service after takeover: {}",
+        if served { "OK" } else { "FAILED" }
+    );
 
     let report = mw.shutdown();
     println!(

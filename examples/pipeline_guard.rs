@@ -12,7 +12,7 @@
 //! cargo run --release -p synergy-mdcd --example pipeline_guard
 //! ```
 
-use synergy_mdcd::general::{GeneralProcess, GeneralRecovery, SourceId, Taint};
+use synergy_mdcd::general::{GeneralProcess, GeneralRecovery, SourceId};
 use synergy_net::ProcessId;
 
 const S1: SourceId = SourceId(1);
@@ -38,7 +38,10 @@ fn main() {
     filter.on_receive(&t, &mut snap);
     let (_, t) = filter.on_send(None);
     fuse.on_receive(&t, &mut snap);
-    println!("after S1's first output:   fuse dirty w.r.t. {:?}", fuse.dirty_set());
+    println!(
+        "after S1's first output:   fuse dirty w.r.t. {:?}",
+        fuse.dirty_set()
+    );
 
     // Round 2: S2 produces straight into the fusion node.
     let (_, t) = s2_active.on_send(Some(S2));

@@ -43,7 +43,11 @@ fn rollback_distance(scheme: Scheme, seeds: u64) -> Summary {
             outcome.verdicts.violations
         );
         if scheme == Scheme::Coordinated {
-            assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+            assert!(
+                outcome.verdicts.all_hold(),
+                "{:?}",
+                outcome.verdicts.violations
+            );
         }
         s.extend(outcome.metrics.hardware_rollback_distances());
     }

@@ -30,7 +30,10 @@ fn main() {
         "software recoveries: {} (shadow promoted: {})",
         outcome.metrics.software_recoveries, outcome.shadow_promoted
     );
-    println!("hardware recoveries: {}", outcome.metrics.hardware_recoveries);
+    println!(
+        "hardware recoveries: {}",
+        outcome.metrics.hardware_recoveries
+    );
     println!(
         "volatile checkpoints: {} type-1, {} pseudo, {} type-2",
         outcome.metrics.type1_ckpts, outcome.metrics.pseudo_ckpts, outcome.metrics.type2_ckpts

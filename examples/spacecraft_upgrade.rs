@@ -18,7 +18,10 @@
 
 use synergy::{Mission, MissionOutcome, Scheme, SystemConfig};
 
-fn escort_mission(label: &str, configure: impl FnOnce(synergy::SystemConfigBuilder) -> synergy::SystemConfigBuilder) -> MissionOutcome {
+fn escort_mission(
+    label: &str,
+    configure: impl FnOnce(synergy::SystemConfigBuilder) -> synergy::SystemConfigBuilder,
+) -> MissionOutcome {
     // Attitude-control telemetry flows constantly between the C&DH
     // component (P1) and the guidance component (P2); thruster commands are
     // external, acceptance-tested outputs.
@@ -53,7 +56,11 @@ fn escort_mission(label: &str, configure: impl FnOnce(synergy::SystemConfigBuild
             r.distance_secs
         );
     }
-    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
     outcome
 }
 
@@ -71,7 +78,10 @@ fn main() {
 
     let both = escort_mission(
         "design fault at t=200s + radiation crash of the guidance node at t=400s",
-        |b| b.software_fault_at_secs(200.0).hardware_fault_at_secs(400.0),
+        |b| {
+            b.software_fault_at_secs(200.0)
+                .hardware_fault_at_secs(400.0)
+        },
     );
     assert_eq!(both.metrics.software_recoveries, 1);
     assert_eq!(both.metrics.hardware_recoveries, 1);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo quality gate: formatting, lints, and the tier-1 build/test pass.
+# Run from anywhere; everything happens at the workspace root, offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "OK: fmt, clippy and tier-1 all passed"

@@ -2,8 +2,7 @@
 //! public API (the same code paths the `synergy-bench` binaries print).
 
 use synergy::scenario::{
-    fig1_original_mdcd, fig2_tb_hazards, fig3_modified_mdcd, fig4_naive_vs_coordinated,
-    fig6_cases,
+    fig1_original_mdcd, fig2_tb_hazards, fig3_modified_mdcd, fig4_naive_vs_coordinated, fig6_cases,
 };
 
 #[test]
@@ -27,10 +26,23 @@ fn fig1_checkpoint_trace() {
             );
         }
     }
-    assert_eq!(report.counts.pseudo, 0, "original protocol has no pseudo ckpts");
-    assert!(report.counts.type2 > 0, "original protocol takes Type-2 ckpts");
+    assert_eq!(
+        report.counts.pseudo, 0,
+        "original protocol has no pseudo ckpts"
+    );
+    assert!(
+        report.counts.type2 > 0,
+        "original protocol takes Type-2 ckpts"
+    );
     // P1act takes no checkpoints under the original protocol.
-    assert_eq!(report.trace.by_actor("P1act").filter(|e| e.kind.starts_with("ckpt")).count(), 0);
+    assert_eq!(
+        report
+            .trace
+            .by_actor("P1act")
+            .filter(|e| e.kind.starts_with("ckpt"))
+            .count(),
+        0
+    );
 }
 
 #[test]

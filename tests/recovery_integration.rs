@@ -44,7 +44,11 @@ fn repeated_hardware_faults_recover_every_time() {
     )
     .run();
     assert_eq!(outcome.metrics.hardware_recoveries, 3);
-    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
     assert_eq!(outcome.verdicts.checks_run, 3);
 }
 
@@ -59,16 +63,23 @@ fn hardware_fault_before_first_stable_checkpoint_restarts_clean() {
     )
     .run();
     assert_eq!(outcome.metrics.hardware_recoveries, 1);
-    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
     // Progress after the restart still happens.
     assert!(outcome.device_messages > 0);
 }
 
 #[test]
 fn software_fault_during_every_phase_is_recoverable() {
+    // The 230s phase needs an acceptance test to fire in the mission's last
+    // ten seconds; seed 1 is one of the (many) seeds whose external
+    // schedule does.
     for at in [10.0, 60.0, 150.0, 230.0] {
         let outcome = Mission::new(
-            base(Scheme::Coordinated, 17)
+            base(Scheme::Coordinated, 1)
                 .software_fault_at_secs(at)
                 .build(),
         )
@@ -96,7 +107,11 @@ fn hardware_then_software_fault_composes() {
     assert_eq!(outcome.metrics.hardware_recoveries, 1);
     assert_eq!(outcome.metrics.software_recoveries, 1);
     assert!(outcome.shadow_promoted);
-    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
 }
 
 #[test]
@@ -110,7 +125,11 @@ fn crash_after_takeover_recovers_without_the_active() {
     .run();
     assert_eq!(outcome.metrics.software_recoveries, 1);
     assert_eq!(outcome.metrics.hardware_recoveries, 1);
-    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts.violations);
+    assert!(
+        outcome.verdicts.all_hold(),
+        "{:?}",
+        outcome.verdicts.violations
+    );
     assert!(
         outcome.device_messages > 0,
         "the promoted shadow keeps serving after the crash"
@@ -195,7 +214,10 @@ fn blocking_periods_scale_with_dirty_bit() {
     // the (differently timed) clean and dirty samples.
     let outcome = Mission::new(
         base(Scheme::Coordinated, 47)
-            .sync(synergy_clocks::SyncParams::new(SimDuration::from_millis(1), 0.0))
+            .sync(synergy_clocks::SyncParams::new(
+                SimDuration::from_millis(1),
+                0.0,
+            ))
             .build(),
     )
     .run();
@@ -222,8 +244,8 @@ fn blocking_periods_scale_with_dirty_bit() {
     assert!(!clean.is_empty() && !dirty.is_empty(), "need both kinds");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let gap = mean(&dirty) - mean(&clean);
-    let expected = SimDuration::from_millis(2).as_secs_f64()
-        + SimDuration::from_micros(200).as_secs_f64();
+    let expected =
+        SimDuration::from_millis(2).as_secs_f64() + SimDuration::from_micros(200).as_secs_f64();
     assert!(
         (gap - expected).abs() < 1e-9,
         "dirty-clean blocking gap {gap} != tmax+tmin {expected}"
