@@ -6,7 +6,15 @@
 //! A plain timing harness (`harness = false`): each configuration runs a
 //! small number of full missions and reports the mean wall-clock per
 //! mission.
+//!
+//! Environment knobs (all optional, used by `scripts/bench.sh`):
+//!
+//! - `BENCH_SAMPLES`: timed missions per configuration (default 10).
+//! - `BENCH_JSON`: path of a JSON regression record; the run is appended to
+//!   its `"runs"` array (the file is created on first use).
+//! - `BENCH_LABEL`: label stored with the run (default `"run"`).
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,14 +37,22 @@ fn mission(scheme: Scheme, seed: u64) -> synergy::MissionOutcome {
     .run()
 }
 
-fn bench_missions() {
-    for scheme in [
-        Scheme::Coordinated,
-        Scheme::WriteThrough,
-        Scheme::Naive,
-        Scheme::MdcdOnly,
+fn samples_from_env() -> u64 {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+fn bench_missions(samples: u64) -> Vec<(&'static str, f64)> {
+    let mut results = Vec::new();
+    for (scheme, name) in [
+        (Scheme::Coordinated, "Coordinated"),
+        (Scheme::WriteThrough, "WriteThrough"),
+        (Scheme::Naive, "Naive"),
+        (Scheme::MdcdOnly, "MdcdOnly"),
     ] {
-        let samples = 10u64;
         let mut seed = 0u64;
         // warm-up
         seed += 1;
@@ -47,11 +63,19 @@ fn bench_missions() {
             black_box(mission(scheme, seed));
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
-        println!("mission_120s/{scheme:?}: {ms:.2} ms/mission ({samples} samples)");
+        println!("mission_120s/{name}: {ms:.2} ms/mission ({samples} samples)");
+        results.push((name, ms));
     }
+    results
 }
 
-fn bench_fig7_point() {
+struct Fig7Point {
+    e_dco_s: f64,
+    e_dwt_s: f64,
+    sweep_ms: f64,
+}
+
+fn bench_fig7_point(samples: u64) -> Fig7Point {
     // One sweep point with few seeds: times the experiment pipeline and
     // prints the measured means so bench logs double as experiment records.
     let params = Fig7Params {
@@ -67,7 +91,6 @@ fn bench_fig7_point() {
         co.mean(),
         wt.mean()
     );
-    let samples = 10u64;
     black_box(rollback_distances(Scheme::Coordinated, 120.0, params));
     let start = Instant::now();
     for _ in 0..samples {
@@ -75,9 +98,62 @@ fn bench_fig7_point() {
     }
     let ms = start.elapsed().as_secs_f64() * 1e3 / samples as f64;
     println!("fig7_sweep_point/coordinated_120_per_hour: {ms:.2} ms/run ({samples} samples)");
+    Fig7Point {
+        e_dco_s: co.mean(),
+        e_dwt_s: wt.mean(),
+        sweep_ms: ms,
+    }
+}
+
+/// One run as a JSON object, indented to sit inside the `"runs"` array.
+fn run_json(
+    label: &str,
+    samples: u64,
+    schemes: &[(&'static str, f64)],
+    fig7: &Fig7Point,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    {{");
+    let _ = writeln!(s, "      \"label\": \"{}\",", label.replace('"', "'"));
+    let _ = writeln!(s, "      \"samples\": {samples},");
+    let _ = writeln!(s, "      \"ms_per_mission\": {{");
+    for (i, (name, ms)) in schemes.iter().enumerate() {
+        let comma = if i + 1 < schemes.len() { "," } else { "" };
+        let _ = writeln!(s, "        \"{name}\": {ms:.3}{comma}");
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"fig7\": {{");
+    let _ = writeln!(s, "        \"e_dco_s\": {:.3},", fig7.e_dco_s);
+    let _ = writeln!(s, "        \"e_dwt_s\": {:.3},", fig7.e_dwt_s);
+    let _ = writeln!(s, "        \"sweep_point_ms\": {:.3}", fig7.sweep_ms);
+    let _ = writeln!(s, "      }}");
+    let _ = write!(s, "    }}");
+    s
+}
+
+/// Appends `run` to the `"runs"` array of the record at `path`, creating the
+/// file on first use. The format is owned end-to-end by this harness, so the
+/// append is plain string surgery on the closing `]`/`}` pair — no JSON
+/// library involved.
+fn append_run(path: &str, run: &str) {
+    let fresh = format!("{{\n  \"bench\": \"missions\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
+    let out = match std::fs::read_to_string(path) {
+        Ok(existing) => match existing.rfind("\n  ]\n}") {
+            Some(pos) => format!("{},\n{run}\n  ]\n}}\n", &existing[..pos]),
+            None => fresh,
+        },
+        Err(_) => fresh,
+    };
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("bench record appended to {path}");
 }
 
 fn main() {
-    bench_missions();
-    bench_fig7_point();
+    let samples = samples_from_env();
+    let schemes = bench_missions(samples);
+    let fig7 = bench_fig7_point(samples);
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
+        append_run(&path, &run_json(&label, samples, &schemes, &fig7));
+    }
 }

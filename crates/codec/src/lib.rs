@@ -33,6 +33,7 @@
 
 use core::fmt;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Things that can go wrong encoding or decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +150,21 @@ pub fn to_bytes<T: Codec>(value: &T) -> Result<Vec<u8>, CodecError> {
     Ok(out)
 }
 
+/// Encodes `value` into `out`, clearing it first. The buffer's capacity is
+/// retained across calls, so hot paths that serialize repeatedly (checkpoint
+/// establishment, stable writes) can reuse one scratch allocation instead of
+/// growing a fresh `Vec` every time.
+///
+/// # Errors
+///
+/// Encoding itself cannot fail; the `Result` keeps call sites uniform with
+/// [`to_bytes`].
+pub fn to_bytes_into<T: Codec>(value: &T, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    out.clear();
+    value.encode(out);
+    Ok(())
+}
+
 /// Decodes a `T` from `bytes`, requiring the input to be fully consumed.
 ///
 /// # Errors
@@ -256,6 +272,31 @@ impl<T: Codec> Codec for Vec<T> {
             items.push(T::decode(r)?);
         }
         Ok(items)
+    }
+}
+
+/// `Arc<T>` is wire-transparent: it encodes exactly like `T`, so switching a
+/// field to a shared pointer never changes the byte layout (checkpoint CRCs
+/// and committed `results/` traces stay identical).
+impl<T: Codec> Codec for Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Arc::new(T::decode(r)?))
+    }
+}
+
+/// `Arc<[T]>` is wire-identical to `Vec<T>` (u64 length prefix + elements).
+impl<T: Codec> Codec for Arc<[T]> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self.iter() {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Vec::<T>::decode(r)?.into())
     }
 }
 
@@ -398,6 +439,34 @@ mod tests {
         let bytes = to_bytes(&value).unwrap();
         let back: T = from_bytes(&bytes).unwrap();
         assert_eq!(back, value);
+    }
+
+    #[test]
+    fn arc_encodes_like_inner() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let shared: Arc<[u32]> = v.clone().into();
+        assert_eq!(to_bytes(&shared).unwrap(), to_bytes(&v).unwrap());
+        let boxed = Arc::new(String::from("layout"));
+        assert_eq!(
+            to_bytes(&boxed).unwrap(),
+            to_bytes(&String::from("layout")).unwrap()
+        );
+        let back: Arc<[u32]> = from_bytes(&to_bytes(&shared).unwrap()).unwrap();
+        assert_eq!(back.as_ref(), v.as_slice());
+        roundtrip(Arc::new(42u64));
+    }
+
+    #[test]
+    fn to_bytes_into_reuses_buffer() {
+        let mut scratch = Vec::with_capacity(64);
+        to_bytes_into(&vec![1u8, 2, 3], &mut scratch).unwrap();
+        assert_eq!(scratch, to_bytes(&vec![1u8, 2, 3]).unwrap());
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        to_bytes_into(&vec![9u8], &mut scratch).unwrap();
+        assert_eq!(scratch, to_bytes(&vec![9u8]).unwrap());
+        assert_eq!(scratch.capacity(), cap, "capacity retained across calls");
+        assert_eq!(scratch.as_ptr(), ptr, "no reallocation on shrink");
     }
 
     #[test]

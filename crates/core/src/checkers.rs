@@ -39,7 +39,7 @@ impl fmt::Display for Violation {
 }
 
 /// The accumulated verdicts of every check run during a mission.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Verdicts {
     /// Violations found, in discovery order.
     pub violations: Vec<Violation>,
@@ -161,7 +161,7 @@ impl GlobalChecker {
     /// Recoverability: sent ⇒ received or restorable.
     fn check_recoverability(&self, states: &[RestoredState], v: &mut Verdicts) {
         for sender in states {
-            for sent in &sender.payload.sent {
+            for sent in sender.payload.sent.iter() {
                 let Some(receiver) = states.iter().find(|s| s.pid == sent.to) else {
                     continue;
                 };
@@ -302,7 +302,7 @@ mod tests {
                         to,
                         seq: MsgSeqNo(seq),
                     })
-                    .collect(),
+                    .collect::<Vec<_>>(),
                 SimTime::ZERO,
             ),
         }
@@ -350,17 +350,20 @@ mod tests {
     #[test]
     fn unacked_copy_restores_recoverability() {
         let mut sender = state(ACT, ProcessRole::Active, vec![], vec![(PEER, 3)], false);
-        sender.payload.unacked.push(synergy_net::Envelope::new(
-            synergy_net::MsgId {
-                from: ACT,
-                seq: MsgSeqNo(3),
-            },
-            PEER,
-            MessageBody::Application {
-                payload: vec![],
-                dirty: true,
-            },
-        ));
+        sender
+            .payload
+            .unacked
+            .push(std::sync::Arc::new(synergy_net::Envelope::new(
+                synergy_net::MsgId {
+                    from: ACT,
+                    seq: MsgSeqNo(3),
+                },
+                PEER,
+                MessageBody::Application {
+                    payload: vec![],
+                    dirty: true,
+                },
+            )));
         let states = vec![
             sender,
             state(SDW, ProcessRole::Shadow, vec![], vec![], false),

@@ -30,7 +30,7 @@ pub struct RollbackRecord {
 }
 
 /// Aggregated counters for one mission.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Volatile checkpoints established, by kind.
     pub type1_ckpts: u64,

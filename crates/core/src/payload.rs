@@ -1,4 +1,12 @@
 //! The composite checkpoint payload.
+//!
+//! Bulky payload fields (application bytes, envelope logs, sent records)
+//! live behind `Arc`s: bundling a payload — which MDCD does on every
+//! confidence-changing message — shares the host's buffers instead of
+//! deep-copying them. `Arc<T>`/`Arc<[T]>` encode byte-identically to
+//! `T`/`Vec<T>`, so checkpoint records and CRCs are unchanged.
+
+use std::sync::Arc;
 
 use synergy_codec::codec_struct;
 use synergy_des::SimTime;
@@ -22,23 +30,24 @@ pub struct SentRecord {
 /// sent but not yet acknowledged (the TB recoverability rule, paper §2.2).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CheckpointPayload {
-    /// Serialized application state.
-    pub app: Vec<u8>,
+    /// Serialized application state (shared; cloning a payload bumps a
+    /// refcount).
+    pub app: Arc<[u8]>,
     /// MDCD engine snapshot taken at the same instant.
     pub engine: EngineSnapshot,
     /// Unacknowledged outgoing messages to re-send on hardware recovery
     /// (empty in volatile checkpoints — MDCD recovery restores messages from
     /// the shadow's log instead).
-    pub unacked: Vec<Envelope>,
+    pub unacked: Vec<Arc<Envelope>>,
     /// Every process-to-process application message this state reflects as
     /// sent, in sending order (consumed by the global-state checkers).
-    pub sent: Vec<SentRecord>,
+    pub sent: Arc<[SentRecord]>,
     /// Receive log attached to volatile-copy stable checkpoints: messages
     /// delivered *after* the copied state was snapshotted. On hardware
     /// recovery the driver replays those of them that the restored global
     /// cut still reflects as sent, closing the receiver-side recoverability
     /// gap (DESIGN.md §8, decision 5). Empty for current-state checkpoints.
-    pub replay: Vec<Envelope>,
+    pub replay: Vec<Arc<Envelope>>,
     /// True simulation time of the *state* captured here. Copying a volatile
     /// checkpoint into a stable one preserves this timestamp: rollback
     /// distance is measured against the age of the restored state, not the
@@ -57,19 +66,20 @@ codec_struct!(CheckpointPayload {
 });
 
 impl CheckpointPayload {
-    /// Bundles a payload.
+    /// Bundles a payload. Callers that already hold shared buffers pass them
+    /// through untouched; `Vec`s are converted (one copy) at the boundary.
     pub fn new(
-        app: Vec<u8>,
+        app: impl Into<Arc<[u8]>>,
         engine: EngineSnapshot,
-        unacked: Vec<Envelope>,
-        sent: Vec<SentRecord>,
+        unacked: Vec<Arc<Envelope>>,
+        sent: impl Into<Arc<[SentRecord]>>,
         state_time: SimTime,
     ) -> Self {
         CheckpointPayload {
-            app,
+            app: app.into(),
             engine,
             unacked,
-            sent,
+            sent: sent.into(),
             replay: Vec::new(),
             state_time_nanos: state_time.as_nanos(),
         }
@@ -90,7 +100,36 @@ impl CheckpointPayload {
         seq: u64,
         label: impl Into<String>,
     ) -> Result<Checkpoint, CheckpointError> {
-        Checkpoint::encode(seq, self.state_time(), label, &self)
+        self.to_checkpoint(seq, label)
+    }
+
+    /// Borrowing variant of [`into_checkpoint`](Self::into_checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures (none occur for well-formed payloads).
+    pub fn to_checkpoint(
+        &self,
+        seq: u64,
+        label: impl Into<String>,
+    ) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::encode(seq, self.state_time(), label, self)
+    }
+
+    /// Encodes into a [`Checkpoint`] through a caller-owned scratch buffer
+    /// (see [`Checkpoint::encode_with_scratch`]); repeated checkpointing
+    /// reuses one serialization allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures (none occur for well-formed payloads).
+    pub fn to_checkpoint_with(
+        &self,
+        seq: u64,
+        label: impl Into<String>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::encode_with_scratch(seq, self.state_time(), label, self, scratch)
     }
 
     /// Decodes a payload back out of a storage record.

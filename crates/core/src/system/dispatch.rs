@@ -74,7 +74,7 @@ impl System {
         }
         if actor == self.device_actor {
             self.sim
-                .record(self.device_actor, "device.recv", env.to_string());
+                .record_with(self.device_actor, || ("device.recv", env.to_string()));
             self.device_log.push((now, env));
             return;
         }
@@ -178,7 +178,7 @@ impl System {
                 HostAction::VolatileSaved { kind } => {
                     self.metrics.count_volatile(kind);
                     self.sim
-                        .record(self.host_actors[i], format!("ckpt.{kind}"), "volatile");
+                        .record_with(self.host_actors[i], || (format!("ckpt.{kind}"), "volatile"));
                 }
                 HostAction::WriteThroughCommitted => {
                     self.metrics.stable_commits += 1;
@@ -193,11 +193,12 @@ impl System {
                     if fallback {
                         self.metrics.dirty_fallbacks += 1;
                     }
-                    self.sim.record(
-                        self.host_actors[i],
-                        "tb.write",
-                        format!("{label} expected_dirty={}", u8::from(expected_dirty)),
-                    );
+                    self.sim.record_with(self.host_actors[i], || {
+                        (
+                            "tb.write",
+                            format!("{label} expected_dirty={}", u8::from(expected_dirty)),
+                        )
+                    });
                 }
                 HostAction::StableReplaced => {
                     self.metrics.stable_replacements += 1;
@@ -209,11 +210,9 @@ impl System {
                 }
                 HostAction::StableCommitted { ndc } => {
                     self.metrics.stable_commits += 1;
-                    self.sim.record(
-                        self.host_actors[i],
-                        "ckpt.stable",
-                        format!("committed {ndc}"),
-                    );
+                    self.sim.record_with(self.host_actors[i], || {
+                        ("ckpt.stable", format!("committed {ndc}"))
+                    });
                 }
                 HostAction::BlockingStarted { duration } => {
                     self.metrics.blocking_periods += 1;
@@ -263,7 +262,7 @@ impl System {
         }
         self.metrics.messages_sent += 1;
         self.sim
-            .record(self.host_actors[i], "msg.send", env.to_string());
+            .record_with(self.host_actors[i], || ("msg.send", env.to_string()));
         self.route_only(env, now);
     }
 

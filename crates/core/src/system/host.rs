@@ -10,6 +10,8 @@
 //! envelopes, scheduling timers, counting metrics and recording trace
 //! lines. Action order is the exact trace order of the protocol.
 
+use std::sync::Arc;
+
 use synergy_clocks::LocalTime;
 use synergy_des::{EventId, SimDuration, SimTime};
 use synergy_mdcd::{
@@ -191,10 +193,22 @@ pub struct ProcessHost {
     /// Application messages delivered since the last volatile checkpoint;
     /// attached to volatile-copy stable writes so recovery can replay
     /// receipts the copied state predates (DESIGN.md §8, decision 5).
-    pub recv_log: Vec<Envelope>,
+    pub recv_log: Vec<Arc<Envelope>>,
     /// Application messages delivered over this host's lifetime.
     pub delivered: u64,
     policy: &'static dyn SchemePolicy,
+    /// Mirrors the driver's trace switch: when false, the host neither
+    /// formats trace details nor emits [`HostAction::Record`] at all.
+    tracing: bool,
+    /// Shared snapshot of `sent_log`, built lazily and invalidated on every
+    /// append, so back-to-back checkpoints bundle the same buffer.
+    sent_snapshot: Option<Arc<[SentRecord]>>,
+    /// Decoded image of `volatile.latest()`, kept beside the store so the
+    /// adapted-TB dirty copy and volatile rollback reuse the payload the
+    /// host just encoded instead of decoding it back out of the bytes.
+    volatile_image: Option<CheckpointPayload>,
+    /// Reusable serialization buffer for checkpoint encodes.
+    scratch: Vec<u8>,
 }
 
 impl ProcessHost {
@@ -240,7 +254,23 @@ impl ProcessHost {
             recv_log: Vec::new(),
             delivered: 0,
             policy,
+            tracing: true,
+            sent_snapshot: None,
+            volatile_image: None,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Discards volatile checkpoints (node crash, stable restore) together
+    /// with the cached decoded image.
+    pub(crate) fn wipe_volatile(&mut self) {
+        self.volatile.wipe();
+        self.volatile_image = None;
+    }
+
+    /// The decoded image of the latest volatile checkpoint, if cached.
+    pub(crate) fn volatile_image(&self) -> Option<&CheckpointPayload> {
+        self.volatile_image.as_ref()
     }
 
     /// The scheme policy this host runs under.
@@ -248,13 +278,40 @@ impl ProcessHost {
         self.policy
     }
 
+    /// Tells the host whether its driver records traces. Disabled hosts
+    /// skip every [`HostAction::Record`] (and the formatting behind it).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// A shared view of the sent log, reused until the next append.
+    pub fn sent_shared(&mut self) -> Arc<[SentRecord]> {
+        self.sent_snapshot
+            .get_or_insert_with(|| self.sent_log.as_slice().into())
+            .clone()
+    }
+
+    /// Appends to the sent log, invalidating the shared snapshot.
+    fn push_sent(&mut self, rec: SentRecord) {
+        self.sent_log.push(rec);
+        self.sent_snapshot = None;
+    }
+
+    /// Replaces the sent log wholesale (recovery restores), adopting the
+    /// payload's shared buffer as the snapshot.
+    pub(crate) fn restore_sent_log(&mut self, sent: &Arc<[SentRecord]>) {
+        self.sent_log = sent.to_vec();
+        self.sent_snapshot = Some(Arc::clone(sent));
+    }
+
     /// A checkpoint payload of the current state at `now`.
-    pub fn current_payload(&self, now: SimTime) -> CheckpointPayload {
+    pub fn current_payload(&mut self, now: SimTime) -> CheckpointPayload {
+        let sent = self.sent_shared();
         CheckpointPayload::new(
             self.app.snapshot(),
             self.engine.snapshot(),
-            self.acks.unacked(),
-            self.sent_log.clone(),
+            self.acks.unacked_shared(),
+            sent,
             now,
         )
     }
@@ -314,7 +371,7 @@ impl ProcessHost {
     /// engine path (recovery resends): the sent log and ack tracking.
     pub fn note_send(&mut self, env: &Envelope) {
         if let (MessageBody::Application { .. }, Endpoint::Process(p)) = (&env.body, env.to) {
-            self.sent_log.push(SentRecord {
+            self.push_sent(SentRecord {
                 to: p,
                 seq: env.id.seq,
             });
@@ -327,10 +384,12 @@ impl ProcessHost {
             self.acks.on_ack(of);
             return;
         }
-        out.push(HostAction::Record {
-            kind: "msg.recv",
-            detail: env.to_string(),
-        });
+        if self.tracing {
+            out.push(HostAction::Record {
+                kind: "msg.recv",
+                detail: env.to_string(),
+            });
+        }
         let bit_before = self.engine.checkpoint_bit();
         let actions = self.engine.handle(MdcdEvent::Deliver(env));
         self.apply_mdcd(actions, now, out);
@@ -381,10 +440,12 @@ impl ProcessHost {
             }),
             None => return,
         };
-        out.push(HostAction::Record {
-            kind: "tb.timer",
-            detail: format!("dirty={} local={deadline}", u8::from(dirty)),
-        });
+        if self.tracing {
+            out.push(HostAction::Record {
+                kind: "tb.timer",
+                detail: format!("dirty={} local={deadline}", u8::from(dirty)),
+            });
+        }
         self.apply_tb(actions, now, out);
     }
 
@@ -399,9 +460,11 @@ impl ProcessHost {
                     self.take_volatile(kind, engine, now, out);
                 }
                 MdcdAction::DeliverToApp(env) => {
+                    let from = env.from();
+                    let id = env.id;
                     if let MessageBody::Application { payload, .. } = &env.body {
-                        self.app.on_message(env.from(), env.id.seq, payload);
-                        self.recv_log.push(env.clone());
+                        self.app.on_message(from, id.seq, payload);
+                        self.recv_log.push(Arc::new(env));
                         self.delivered += 1;
                         out.push(HostAction::Delivered);
                     }
@@ -412,8 +475,8 @@ impl ProcessHost {
                             from: self.pid,
                             seq: MsgSeqNo(ACK_SEQ_BASE + self.ack_sn),
                         },
-                        env.from(),
-                        MessageBody::Ack { of: env.id },
+                        from,
+                        MessageBody::Ack { of: id },
                     );
                     out.push(HostAction::SendAck(ack));
                 }
@@ -433,27 +496,24 @@ impl ProcessHost {
         out: &mut Vec<HostAction>,
     ) {
         self.volatile_seq += 1;
-        let payload = CheckpointPayload::new(
-            self.app.snapshot(),
-            engine,
-            Vec::new(),
-            self.sent_log.clone(),
-            now,
-        );
+        let sent = self.sent_shared();
+        let mut payload =
+            CheckpointPayload::new(self.app.snapshot(), engine, Vec::new(), sent, now);
         let ckpt = payload
-            .clone()
-            .into_checkpoint(self.volatile_seq, kind.to_string())
+            .to_checkpoint_with(self.volatile_seq, kind.to_string(), &mut self.scratch)
             .expect("payload encodes");
         self.volatile.save(ckpt);
+        // Cache before the write-through path mutates `payload`: the image
+        // must mirror exactly what the saved checkpoint decodes to.
+        self.volatile_image = Some(payload.clone());
         self.recv_log.clear();
         out.push(HostAction::VolatileSaved { kind });
         // Write-through baseline: Type-2 checkpoints are persisted.
         if self.policy.stable_on_validation() && kind == CheckpointKind::Type2 {
             self.wt_stable_seq += 1;
-            let mut stable_payload = payload;
-            stable_payload.unacked = self.acks.unacked();
-            let ckpt = stable_payload
-                .into_checkpoint(self.wt_stable_seq, "stable-type2")
+            payload.unacked = self.acks.unacked_shared();
+            let ckpt = payload
+                .to_checkpoint_with(self.wt_stable_seq, "stable-type2", &mut self.scratch)
                 .expect("payload encodes");
             self.stable
                 .begin_write(ckpt)
@@ -475,16 +535,18 @@ impl ProcessHost {
                     out.push(HostAction::BlockingStarted { duration });
                     let engine_actions = self.engine.handle(MdcdEvent::BlockingStarted);
                     self.apply_mdcd(engine_actions, now, out);
-                    out.push(HostAction::Record {
-                        kind: "tb.blocking",
-                        detail: format!("for {duration}"),
-                    });
+                    if self.tracing {
+                        out.push(HostAction::Record {
+                            kind: "tb.blocking",
+                            detail: format!("for {duration}"),
+                        });
+                    }
                 }
                 TbAction::ReplaceWithCurrentState => {
                     let payload = self.current_payload(self.blocking_started_at.unwrap_or(now));
                     let seq = self.stable.in_progress().map_or(1, |c| c.seq());
                     let ckpt = payload
-                        .into_checkpoint(seq, "stable-replaced")
+                        .to_checkpoint_with(seq, "stable-replaced", &mut self.scratch)
                         .expect("payload encodes");
                     self.stable
                         .replace_in_progress(ckpt)
@@ -516,14 +578,19 @@ impl ProcessHost {
     ) {
         let (payload, fallback) = match contents {
             ContentsChoice::CurrentState => (self.current_payload(now), false),
-            ContentsChoice::VolatileCopy => match self.volatile.latest() {
-                Some(vol) => (
+            ContentsChoice::VolatileCopy => match (&self.volatile_image, self.volatile.latest()) {
+                // Cached image: the dirty copy is refcount bumps, no decode.
+                (Some(img), Some(_)) => (
+                    recovery::amend_volatile_copy(img.clone(), &self.acks, &self.recv_log),
+                    false,
+                ),
+                (None, Some(vol)) => (
                     recovery::volatile_copy_payload(vol, &self.acks, &self.recv_log),
                     false,
                 ),
                 // Defensive: a dirty bit without a volatile checkpoint
                 // (cannot happen through the engines).
-                None => (self.current_payload(now), true),
+                _ => (self.current_payload(now), true),
             },
         };
         let seq = self.tb.as_ref().map_or(0, |tb| tb.ndc().0) + 1;
@@ -532,7 +599,7 @@ impl ProcessHost {
             ContentsChoice::VolatileCopy => "stable-volatile-copy",
         };
         let ckpt = payload
-            .into_checkpoint(seq, label)
+            .to_checkpoint_with(seq, label, &mut self.scratch)
             .expect("payload encodes");
         self.stable
             .begin_write(ckpt)

@@ -92,7 +92,10 @@ impl System {
     /// Builds a system from `cfg` (faults validated, workload scheduled).
     pub fn new(cfg: SystemConfig) -> Self {
         cfg.faults.validate();
-        let mut sim: Simulator<Ev> = Simulator::new(cfg.seed);
+        // Pending-event count is bounded by in-flight messages + per-host
+        // timers + workload streams — tens, not thousands; 64 skips the
+        // heap's early regrowth without committing real memory.
+        let mut sim: Simulator<Ev> = Simulator::with_capacity(cfg.seed, 64);
         if !cfg.trace {
             sim.trace().disable();
         }
@@ -128,11 +131,14 @@ impl System {
                 tb_cfg,
             )
         };
-        let hosts = vec![
+        let mut hosts = vec![
             mk_host(ProcessRole::Active, topology.active, 0),
             mk_host(ProcessRole::Shadow, topology.shadow, 1),
             mk_host(ProcessRole::Peer, topology.peer, 2),
         ];
+        for h in &mut hosts {
+            h.set_tracing(cfg.trace);
+        }
         let host_actors = vec![a_act, a_sdw, a_p2];
         let actor_index = host_actors
             .iter()
@@ -378,7 +384,7 @@ impl Mission {
             verdicts,
             device_messages: device_log.len(),
             shadow_promoted,
-            trace: sim.trace_ref().clone(),
+            trace: sim.into_trace(),
         }
     }
 }

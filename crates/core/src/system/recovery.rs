@@ -7,6 +7,8 @@
 //! procedures (software takeover, global hardware rollback) orchestrate
 //! them over the hosts.
 
+use std::sync::Arc;
+
 use synergy_des::SimTime;
 use synergy_mdcd::{EngineSnapshot, Event as MdcdEvent, ProcessRole, RecoveryDecision};
 use synergy_net::{AckTracker, CkptSeqNo, Endpoint, Envelope, MessageBody, MsgSeqNo, ProcessId};
@@ -43,12 +45,23 @@ pub fn epoch_line<'a>(live: impl Iterator<Item = &'a StableStore>) -> Option<u64
 pub fn volatile_copy_payload(
     vol: &Checkpoint,
     acks: &AckTracker,
-    recv_log: &[Envelope],
+    recv_log: &[Arc<Envelope>],
 ) -> CheckpointPayload {
-    let mut p = CheckpointPayload::from_checkpoint(vol).expect("volatile checkpoints decode");
+    let p = CheckpointPayload::from_checkpoint(vol).expect("volatile checkpoints decode");
+    amend_volatile_copy(p, acks, recv_log)
+}
+
+/// The amendment half of [`volatile_copy_payload`], for callers that already
+/// hold the decoded payload (the host caches the image of its latest
+/// volatile checkpoint precisely to skip the decode on the TB hot path).
+pub fn amend_volatile_copy(
+    mut p: CheckpointPayload,
+    acks: &AckTracker,
+    recv_log: &[Arc<Envelope>],
+) -> CheckpointPayload {
     let horizon = p.engine.msg_sn;
     p.unacked = acks
-        .unacked()
+        .unacked_shared()
         .into_iter()
         .filter(|e| e.id.seq <= horizon)
         .collect();
@@ -59,8 +72,8 @@ pub fn volatile_copy_payload(
 /// Drops acknowledgment tracking for messages beyond `horizon`: per the
 /// restored state, they were never sent.
 pub fn prune_unacked(acks: &mut AckTracker, horizon: MsgSeqNo) {
-    let kept: Vec<Envelope> = acks
-        .unacked()
+    let kept: Vec<Arc<Envelope>> = acks
+        .unacked_shared()
         .into_iter()
         .filter(|e| e.id.seq <= horizon)
         .collect();
@@ -81,7 +94,7 @@ pub fn filter_replays(
     restored: &[(ProcessId, CheckpointPayload)],
     original_active: ProcessId,
     global_validated: MsgSeqNo,
-) -> Vec<(ProcessId, Envelope)> {
+) -> Vec<(ProcessId, Arc<Envelope>)> {
     let sent_reflected = |env: &Envelope| {
         restored.iter().any(|(pid, p)| {
             *pid == env.from()
@@ -99,7 +112,7 @@ pub fn filter_replays(
             if env.from() == original_active && env.id.seq > global_validated {
                 continue;
             }
-            replays.push((*pid, env.clone()));
+            replays.push((*pid, Arc::clone(env)));
         }
     }
     replays
@@ -110,14 +123,17 @@ impl ProcessHost {
     /// returns the rollback distance in seconds, or `None` when no
     /// volatile checkpoint exists.
     pub fn rollback_to_volatile(&mut self, now: SimTime) -> Option<f64> {
-        let ckpt = self.volatile.latest_cloned()?;
-        let payload = CheckpointPayload::from_checkpoint(&ckpt).expect("volatile decodes");
+        let ckpt = self.volatile.latest_shared()?;
+        let payload = match self.volatile_image() {
+            Some(img) => img.clone(),
+            None => CheckpointPayload::from_checkpoint(&ckpt).expect("volatile decodes"),
+        };
         let distance = now
             .saturating_duration_since(payload.state_time())
             .as_secs_f64();
         self.app.restore(&payload.app);
         self.engine.restore(&payload.engine);
-        self.sent_log = payload.sent.clone();
+        self.restore_sent_log(&payload.sent);
         self.recv_log.clear();
         prune_unacked(&mut self.acks, payload.engine.msg_sn);
         // If a TB blocking period is in progress, the restored engine must
@@ -135,9 +151,9 @@ impl ProcessHost {
     pub fn restore_from_payload(&mut self, payload: &CheckpointPayload) {
         self.app.restore(&payload.app);
         self.engine.restore(&payload.engine);
-        self.sent_log = payload.sent.clone();
-        self.acks.restore(payload.unacked.clone());
-        self.volatile.wipe();
+        self.restore_sent_log(&payload.sent);
+        self.acks.restore(payload.unacked.iter().map(Arc::clone));
+        self.wipe_volatile();
         self.recv_log.clear();
     }
 }
@@ -187,11 +203,12 @@ impl System {
                 distance_secs: distance,
                 at: now,
             });
-            self.sim.record(
-                self.host_actors[i],
-                "recovery.decision",
-                format!("{decision} ({distance:.3}s undone)"),
-            );
+            self.sim.record_with(self.host_actors[i], || {
+                (
+                    "recovery.decision",
+                    format!("{decision} ({distance:.3}s undone)"),
+                )
+            });
         }
 
         // Shadow takes over and re-sends unvalidated suppressed messages.
@@ -206,15 +223,17 @@ impl System {
         }
 
         // Check the recovered (volatile) cut.
-        let states: Vec<RestoredState> = [sdw, peer]
-            .iter()
-            .map(|&i| RestoredState {
-                pid: self.hosts[i].pid,
-                role: self.hosts[i].engine.role(),
-                synthetic_history: self.hosts[i].synthetic_history,
-                payload: self.hosts[i].current_payload(now),
-            })
-            .collect();
+        let mut states: Vec<RestoredState> = Vec::with_capacity(2);
+        for i in [sdw, peer] {
+            let payload = self.hosts[i].current_payload(now);
+            let host = &self.hosts[i];
+            states.push(RestoredState {
+                pid: host.pid,
+                role: host.engine.role(),
+                synthetic_history: host.synthetic_history,
+                payload,
+            });
+        }
         let checker = GlobalChecker::new(self.topology.active);
         let v = checker.check(&states, self.global_validated);
         self.verdicts.merge(v);
@@ -249,14 +268,12 @@ impl System {
         if self.hosts[i].dead {
             return; // crashing a dead node changes nothing
         }
-        self.sim.record(
-            self.host_actors[i],
-            "fault.hardware",
-            format!("node {node} crashed"),
-        );
+        self.sim.record_with(self.host_actors[i], || {
+            ("fault.hardware", format!("node {node} crashed"))
+        });
         let host = &mut self.hosts[i];
         host.up = false;
-        host.volatile.wipe();
+        host.wipe_volatile();
         if host.stable.is_writing() {
             self.metrics.torn_writes += 1;
         }
@@ -297,7 +314,7 @@ impl System {
         // Restore every live process from stable storage and gather the
         // restored cut for checking.
         let mut restored_payloads: Vec<(usize, CheckpointPayload)> = Vec::new();
-        let mut resend: Vec<(usize, Envelope)> = Vec::new();
+        let mut resend: Vec<(usize, Arc<Envelope>)> = Vec::new();
         for i in 0..self.hosts.len() {
             if self.hosts[i].dead {
                 continue;
@@ -310,7 +327,7 @@ impl System {
             self.hosts[i].stable.abort_write();
             let chosen = match recovery_epoch {
                 Some(epoch) => self.hosts[i].stable.latest_at_or_before(epoch).cloned(),
-                None => self.hosts[i].stable.latest_cloned(),
+                None => self.hosts[i].stable.latest_shared(),
             };
             let restored_seq = chosen.as_ref().map_or(0, |c| c.seq());
             let payload = match chosen {
@@ -340,7 +357,7 @@ impl System {
             });
             self.hosts[i].restore_from_payload(&payload);
             for env in &payload.unacked {
-                resend.push((i, env.clone()));
+                resend.push((i, Arc::clone(env)));
             }
             restored_payloads.push((i, payload.clone()));
             // Align the engine's Ndc with the recovered stable epoch and
@@ -355,11 +372,12 @@ impl System {
                 let actions = self.hosts[i].tb_event(TbEvent::Restarted { now_local, ndc }, now);
                 self.apply_host_actions(i, actions, now);
             }
-            self.sim.record(
-                self.host_actors[i],
-                "recovery.restore",
-                format!("stable state from {}", payload.state_time()),
-            );
+            self.sim.record_with(self.host_actors[i], || {
+                (
+                    "recovery.restore",
+                    format!("stable state from {}", payload.state_time()),
+                )
+            });
         }
 
         // Replay receive logs attached to volatile-copy checkpoints into
@@ -383,7 +401,7 @@ impl System {
                     .on_message(env.from(), env.id.seq, payload);
                 self.metrics.messages_replayed += 1;
                 self.sim
-                    .record(self.host_actors[i], "msg.replay", env.to_string());
+                    .record_with(self.host_actors[i], || ("msg.replay", env.to_string()));
             }
         }
 
@@ -392,7 +410,7 @@ impl System {
             .iter()
             .map(|(i, payload)| {
                 let mut p = payload.clone();
-                p.app = self.hosts[*i].app.snapshot();
+                p.app = self.hosts[*i].app.snapshot().into();
                 RestoredState {
                     pid: self.hosts[*i].pid,
                     role: self.hosts[*i].engine.role(),
@@ -409,9 +427,9 @@ impl System {
         // rule).
         self.metrics.messages_resent += resend.len() as u64;
         for (i, env) in resend {
-            self.route_only(env.clone(), now);
+            self.route_only((*env).clone(), now);
             self.sim
-                .record(self.host_actors[i], "msg.resend", env.to_string());
+                .record_with(self.host_actors[i], || ("msg.resend", env.to_string()));
         }
 
         let (Some(act), Some(sdw)) = (
@@ -555,7 +573,10 @@ mod tests {
             app_env(ACT, 3, PEER), // beyond the validation horizon
             app_env(ACT, 9, PEER), // not reflected as sent
             app_env(SDW, 1, PEER), // sender not in the restored cut
-        ];
+        ]
+        .into_iter()
+        .map(Arc::new)
+        .collect();
         let restored = vec![(ACT, act), (PEER, p2)];
         let replays = filter_replays(&restored, ACT, MsgSeqNo(2));
         let seqs: Vec<u64> = replays.iter().map(|(_, e)| e.id.seq.0).collect();
@@ -572,9 +593,10 @@ mod tests {
         peer.sent = vec![crate::payload::SentRecord {
             to: ACT,
             seq: MsgSeqNo(5),
-        }];
+        }]
+        .into();
         let mut act = payload_at(10);
-        act.replay = vec![app_env(PEER, 5, ACT)];
+        act.replay = vec![Arc::new(app_env(PEER, 5, ACT))];
         let restored = vec![(ACT, act), (PEER, peer)];
         let replays = filter_replays(&restored, ACT, MsgSeqNo(0));
         assert_eq!(replays.len(), 1);
@@ -593,7 +615,7 @@ mod tests {
         for seq in 1..=4 {
             acks.on_send(app_env(ACT, seq, PEER));
         }
-        let recv_log = vec![app_env(PEER, 8, ACT)];
+        let recv_log = vec![Arc::new(app_env(PEER, 8, ACT))];
         let copy = volatile_copy_payload(&vol, &acks, &recv_log);
         let unacked: Vec<u64> = copy.unacked.iter().map(|e| e.id.seq.0).collect();
         assert_eq!(unacked, vec![1, 2]);

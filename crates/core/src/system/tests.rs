@@ -217,3 +217,22 @@ fn crash_of_each_node_is_survivable() {
         assert_eq!(outcome.metrics.hardware_recoveries, 1, "node {node}");
     }
 }
+
+#[test]
+fn volatile_image_matches_decoded_checkpoint() {
+    // The host-side cache must mirror exactly what the stored bytes decode
+    // to — the adapted-TB dirty copy and volatile rollback depend on it.
+    let mut system = System::new(base().scheme(Scheme::Coordinated).trace(false).build());
+    system.run();
+    let mut images_checked = 0;
+    for host in &system.hosts {
+        let (Some(img), Some(ckpt)) = (host.volatile_image(), host.volatile.latest()) else {
+            continue;
+        };
+        let decoded =
+            crate::payload::CheckpointPayload::from_checkpoint(ckpt).expect("volatile decodes");
+        assert_eq!(img, &decoded, "cached image diverged for {}", host.pid);
+        images_checked += 1;
+    }
+    assert!(images_checked > 0, "no volatile checkpoints were cached");
+}

@@ -45,9 +45,9 @@ pub(crate) struct EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    pub fn new() -> Self {
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
         }
     }
@@ -72,6 +72,12 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Ids of every entry still queued (cancelled tombstones included), in
+    /// arbitrary order. Used to prune the simulator's cancelled set.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.heap.iter().map(|Reverse(e)| e.id)
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -86,7 +92,7 @@ mod tests {
     use super::*;
 
     fn q() -> EventQueue<&'static str> {
-        EventQueue::new()
+        EventQueue::with_capacity(0)
     }
 
     #[test]

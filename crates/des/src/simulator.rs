@@ -44,10 +44,17 @@ pub struct Simulator<E> {
 impl<E> Simulator<E> {
     /// Creates a simulator whose random streams derive from `seed`.
     pub fn new(seed: u64) -> Self {
+        Self::with_capacity(seed, 0)
+    }
+
+    /// Creates a simulator pre-sized for roughly `pending_hint` concurrently
+    /// pending events. The hint bounds neither the queue nor correctness —
+    /// it only avoids early heap regrowth on the mission hot path.
+    pub fn with_capacity(seed: u64, pending_hint: usize) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            cancelled: HashSet::new(),
+            queue: EventQueue::with_capacity(pending_hint),
+            cancelled: HashSet::with_capacity(pending_hint),
             next_event_id: 0,
             actor_names: Vec::new(),
             rng: DetRng::new(seed),
@@ -105,11 +112,22 @@ impl<E> Simulator<E> {
 
     /// Cancels a previously scheduled event. Returns `true` when the event
     /// had not yet fired (or been cancelled).
+    ///
+    /// Cancellation is lazy: the entry stays in the queue and is dropped when
+    /// popped. Ids of events that already fired would otherwise pool in the
+    /// tombstone set for the rest of the mission, so once the set outgrows
+    /// the queue it is pruned back to ids that are still pending — an
+    /// amortized O(pending) sweep that keeps memory bounded on long runs.
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.0 >= self.next_event_id {
             return false;
         }
-        self.cancelled.insert(id)
+        let inserted = self.cancelled.insert(id);
+        if inserted && self.cancelled.len() > self.queue.len() + 16 {
+            let pending: HashSet<EventId> = self.queue.ids().collect();
+            self.cancelled.retain(|c| pending.contains(c));
+        }
+        inserted
     }
 
     /// Pops the next non-cancelled event, advancing virtual time to its fire
@@ -157,11 +175,44 @@ impl<E> Simulator<E> {
         &self.trace
     }
 
+    /// Whether trace recording is currently enabled. Callers with expensive
+    /// trace arguments should gate on this (or use
+    /// [`record_with`](Simulator::record_with)) so disabled sweeps format
+    /// nothing.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Consumes the simulator, yielding its trace without cloning the
+    /// recorded events.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
     /// Records a trace event at the current instant.
     pub fn record(&mut self, actor: ActorId, kind: impl Into<String>, detail: impl Into<String>) {
+        if !self.trace.is_enabled() {
+            return;
+        }
         let name = self.actor_names[actor.index()].clone();
         let now = self.now;
         self.trace.record(now, name, kind, detail);
+    }
+
+    /// Records a trace event whose `(kind, detail)` pair is built lazily;
+    /// `make` (and any formatting inside it) only runs while tracing is
+    /// enabled.
+    pub fn record_with<K, D>(&mut self, actor: ActorId, make: impl FnOnce() -> (K, D))
+    where
+        K: Into<String>,
+        D: Into<String>,
+    {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let name = self.actor_names[actor.index()].clone();
+        let now = self.now;
+        self.trace.record_with(now, name, make);
     }
 }
 
@@ -197,6 +248,54 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut sim: Simulator<&str> = Simulator::new(0);
         assert!(!sim.cancel(EventId(123)));
+    }
+
+    #[test]
+    fn cancelled_set_stays_bounded_over_long_runs() {
+        // Repeatedly schedule-then-cancel (the reschedule-a-timer pattern):
+        // the tombstone set must not grow with mission length.
+        let mut sim: Simulator<u32> = Simulator::new(0);
+        let a = sim.register_actor("a");
+        for i in 0..10_000 {
+            let id = sim.schedule_in(SimDuration::from_nanos(5), a, i);
+            sim.cancel(id);
+            // Pop the tombstone so the queue drains like a real mission.
+            while sim.step().is_some() {}
+        }
+        assert!(
+            sim.cancelled.len() <= 32,
+            "cancelled tombstones leaked: {}",
+            sim.cancelled.len()
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_pending_cancellations() {
+        let mut sim: Simulator<u32> = Simulator::new(0);
+        let a = sim.register_actor("a");
+        // One far-future event we cancel and must *stay* cancelled across
+        // prune sweeps triggered by later churn.
+        let far = sim.schedule_at(SimTime::from_nanos(1_000_000), a, 999);
+        sim.cancel(far);
+        for i in 0..1000 {
+            let id = sim.schedule_in(SimDuration::from_nanos(1), a, i);
+            sim.cancel(id);
+            while sim.step().is_some() {}
+        }
+        assert!(sim.step().is_none(), "cancelled far event must never fire");
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut sim: Simulator<&str> = Simulator::with_capacity(7, 64);
+        let a = sim.register_actor("a");
+        sim.schedule_in(SimDuration::from_nanos(3), a, "x");
+        assert_eq!(sim.step().unwrap().event, "x");
+        assert_eq!(
+            sim.rng_stream("s").gen_range(0u64..100),
+            Simulator::<u8>::new(7).rng_stream("s").gen_range(0u64..100),
+            "seed derivation is capacity-independent"
+        );
     }
 
     #[test]

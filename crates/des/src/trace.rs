@@ -84,6 +84,29 @@ impl Trace {
         }
     }
 
+    /// Appends an event built by `make` — the closure (and therefore any
+    /// string formatting inside it) only runs while recording is enabled, so
+    /// `trace(false)` sweeps pay nothing for trace arguments.
+    pub fn record_with<K, D>(
+        &mut self,
+        time: SimTime,
+        actor: impl Into<String>,
+        make: impl FnOnce() -> (K, D),
+    ) where
+        K: Into<String>,
+        D: Into<String>,
+    {
+        if self.enabled {
+            let (kind, detail) = make();
+            self.events.push(TraceEvent {
+                time,
+                actor: actor.into(),
+                kind: kind.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
     /// All recorded events in time order (the recording order).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -151,6 +174,27 @@ mod tests {
         t.enable();
         t.record(SimTime::ZERO, "a", "k", "d");
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn record_with_skips_closure_while_disabled() {
+        let mut t = Trace::new();
+        t.disable();
+        let mut calls = 0;
+        t.record_with(SimTime::ZERO, "a", || {
+            calls += 1;
+            ("k", "d")
+        });
+        assert_eq!(calls, 0, "closure must not run while disabled");
+        assert!(t.events().is_empty());
+        t.enable();
+        t.record_with(SimTime::ZERO, "a", || {
+            calls += 1;
+            ("k", format!("expensive {}", 42))
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].detail, "expensive 42");
     }
 
     #[test]

@@ -141,18 +141,22 @@ impl NodeRunner {
                 }
             })
             .expect("spawn net pump thread");
+        // The TB layer runs wall-clock in TbRuntime, so the host's own
+        // TB slot stays empty; effects come back via engine_event.
+        let mut host = ProcessHost::new(
+            role,
+            pid,
+            node,
+            Topology::canonical(),
+            Scheme::Coordinated,
+            CounterApp::new(seed ^ 0xA5A5),
+            None,
+        );
+        // No trace consumer exists in the threaded runtime; skip building
+        // Record actions at the source.
+        host.set_tracing(false);
         NodeRunner {
-            // The TB layer runs wall-clock in TbRuntime, so the host's own
-            // TB slot stays empty; effects come back via engine_event.
-            host: ProcessHost::new(
-                role,
-                pid,
-                node,
-                Topology::canonical(),
-                Scheme::Coordinated,
-                CounterApp::new(seed ^ 0xA5A5),
-                None,
-            ),
+            host,
             net,
             input_rx,
             sup_tx,
@@ -198,8 +202,9 @@ impl NodeRunner {
         SimTime::from_nanos(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 
-    fn current_payload(&self) -> CheckpointPayload {
-        self.host.current_payload(self.now())
+    fn current_payload(&mut self) -> CheckpointPayload {
+        let now = self.now();
+        self.host.current_payload(now)
     }
 
     fn tick_tb(&mut self) {

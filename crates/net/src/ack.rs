@@ -6,6 +6,7 @@
 //! re-sends them during hardware error recovery (paper §2.2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use synergy_codec::codec_struct;
 
@@ -30,7 +31,10 @@ use crate::message::{Envelope, MsgId};
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct AckTracker {
-    pending: BTreeMap<MsgId, Envelope>,
+    // Envelopes are held behind `Arc` so bundling the pending set into a
+    // checkpoint payload (every volatile checkpoint does) shares rather
+    // than deep-copies them.
+    pending: BTreeMap<MsgId, Arc<Envelope>>,
 }
 
 codec_struct!(AckTracker { pending });
@@ -42,7 +46,8 @@ impl AckTracker {
     }
 
     /// Registers a sent message as awaiting acknowledgment.
-    pub fn on_send(&mut self, envelope: Envelope) {
+    pub fn on_send(&mut self, envelope: impl Into<Arc<Envelope>>) {
+        let envelope = envelope.into();
         self.pending.insert(envelope.id, envelope);
     }
 
@@ -53,8 +58,15 @@ impl AckTracker {
     }
 
     /// The messages that must be included in the next stable checkpoint, in
-    /// deterministic (sender, sequence) order.
+    /// deterministic (sender, sequence) order — deep copies; prefer
+    /// [`unacked_shared`](Self::unacked_shared) on hot paths.
     pub fn unacked(&self) -> Vec<Envelope> {
+        self.pending.values().map(|e| (**e).clone()).collect()
+    }
+
+    /// Shared handles to the pending messages in deterministic (sender,
+    /// sequence) order; each element is a refcount bump.
+    pub fn unacked_shared(&self) -> Vec<Arc<Envelope>> {
         self.pending.values().cloned().collect()
     }
 
@@ -69,8 +81,14 @@ impl AckTracker {
     }
 
     /// Replaces the pending set with the one recovered from a checkpoint.
-    pub fn restore(&mut self, messages: impl IntoIterator<Item = Envelope>) {
-        self.pending = messages.into_iter().map(|m| (m.id, m)).collect();
+    pub fn restore<T: Into<Arc<Envelope>>>(&mut self, messages: impl IntoIterator<Item = T>) {
+        self.pending = messages
+            .into_iter()
+            .map(|m| {
+                let m = m.into();
+                (m.id, m)
+            })
+            .collect();
     }
 
     /// Forgets everything (process restart without recovery).
@@ -131,6 +149,17 @@ mod tests {
         t.on_send(env(3));
         let seqs: Vec<u64> = t.unacked().iter().map(|e| e.id.seq.0).collect();
         assert_eq!(seqs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn unacked_shared_aliases_pending_entries() {
+        let mut t = AckTracker::new();
+        let shared = Arc::new(env(0));
+        t.on_send(Arc::clone(&shared));
+        let out = t.unacked_shared();
+        assert_eq!(out.len(), 1);
+        assert!(Arc::ptr_eq(&out[0], &shared), "no deep copy");
+        assert_eq!(t.unacked(), vec![env(0)]);
     }
 
     #[test]

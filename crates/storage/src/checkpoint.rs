@@ -1,6 +1,7 @@
 //! The checkpoint record shared by volatile and stable stores.
 
 use core::fmt;
+use std::sync::Arc;
 
 use synergy_codec::{codec_struct, Codec};
 use synergy_des::SimTime;
@@ -55,6 +56,12 @@ impl From<CodecError> for CheckpointError {
 /// guarded by a CRC-32, so corruption (and decoding with the wrong type) is
 /// detected rather than silently accepted.
 ///
+/// The serialized bytes live behind an `Arc<[u8]>`: cloning a checkpoint —
+/// the adapted TB protocol's volatile→stable dirty-copy, epoch-line
+/// selection, payload bundling — bumps a refcount instead of deep-copying
+/// the state. `Arc<[u8]>` encodes byte-identically to `Vec<u8>`, so the wire
+/// format (and every committed CRC) is unchanged.
+///
 /// # Example
 ///
 /// ```rust
@@ -72,7 +79,7 @@ pub struct Checkpoint {
     seq: u64,
     taken_at_nanos: u64,
     label: String,
-    data: Vec<u8>,
+    data: Arc<[u8]>,
     crc: u32,
 }
 
@@ -97,13 +104,34 @@ impl Checkpoint {
         label: impl Into<String>,
         state: &T,
     ) -> Result<Self, CheckpointError> {
-        let data = codec::to_bytes(state)?;
-        let crc = crc32(&data);
+        let mut scratch = Vec::new();
+        Self::encode_with_scratch(seq, taken_at, label, state, &mut scratch)
+    }
+
+    /// Serializes `state` through a caller-owned scratch buffer: encode →
+    /// CRC both run against `scratch` (whose capacity is reused across
+    /// calls), and the only fresh allocation is the final shared `Arc<[u8]>`
+    /// copy. Hot paths that checkpoint repeatedly should hold one scratch
+    /// `Vec` and call this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Codec`] when `state` cannot be represented
+    /// in the binary format.
+    pub fn encode_with_scratch<T: Codec>(
+        seq: u64,
+        taken_at: SimTime,
+        label: impl Into<String>,
+        state: &T,
+        scratch: &mut Vec<u8>,
+    ) -> Result<Self, CheckpointError> {
+        codec::to_bytes_into(state, scratch)?;
+        let crc = crc32(scratch);
         Ok(Checkpoint {
             seq,
             taken_at_nanos: taken_at.as_nanos(),
             label: label.into(),
-            data,
+            data: scratch.as_slice().into(),
             crc,
         })
     }
@@ -146,16 +174,25 @@ impl Checkpoint {
         self.data.len()
     }
 
+    /// The serialized state, shared. Cloning the returned handle is a
+    /// refcount bump.
+    pub fn shared_data(&self) -> Arc<[u8]> {
+        Arc::clone(&self.data)
+    }
+
     /// Flips one bit of the stored state — fault injection for tests that
-    /// verify corruption is detected.
+    /// verify corruption is detected. The flipped copy is private to this
+    /// record: other holders of the shared bytes are unaffected.
     ///
     /// # Panics
     ///
     /// Panics if the checkpoint holds no data bytes.
     pub fn corrupt_bit(&mut self, bit: usize) {
         assert!(!self.data.is_empty(), "cannot corrupt an empty checkpoint");
-        let i = (bit / 8) % self.data.len();
-        self.data[i] ^= 1 << (bit % 8);
+        let mut bytes = self.data.to_vec();
+        let i = (bit / 8) % bytes.len();
+        bytes[i] ^= 1 << (bit % 8);
+        self.data = bytes.into();
     }
 }
 
@@ -206,6 +243,28 @@ mod tests {
         ckpt.corrupt_bit(13);
         ckpt.corrupt_bit(13);
         assert!(ckpt.decode::<AppState>().is_ok());
+    }
+
+    #[test]
+    fn scratch_encode_matches_plain_encode() {
+        let t = SimTime::from_secs_f64(2.5);
+        let plain = Checkpoint::encode(7, t, "pseudo", &sample()).unwrap();
+        let mut scratch = Vec::new();
+        let first = Checkpoint::encode_with_scratch(7, t, "pseudo", &sample(), &mut scratch);
+        assert_eq!(first.unwrap(), plain);
+        // Reuse the (now dirty) scratch for a different state: identical
+        // record again, no stale bytes.
+        let again = Checkpoint::encode_with_scratch(7, t, "pseudo", &sample(), &mut scratch);
+        assert_eq!(again.unwrap(), plain);
+    }
+
+    #[test]
+    fn corruption_is_private_to_the_corrupted_record() {
+        let ckpt = Checkpoint::encode(0, SimTime::ZERO, "t", &sample()).unwrap();
+        let mut shared = ckpt.clone();
+        shared.corrupt_bit(13);
+        assert!(shared.decode::<AppState>().is_err());
+        assert_eq!(ckpt.decode::<AppState>().unwrap(), sample());
     }
 
     #[test]

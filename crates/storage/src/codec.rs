@@ -16,4 +16,4 @@
 //! assert_eq!(back, state);
 //! ```
 
-pub use synergy_codec::{from_bytes, to_bytes, Codec, CodecError, Reader};
+pub use synergy_codec::{from_bytes, to_bytes, to_bytes_into, Codec, CodecError, Reader};

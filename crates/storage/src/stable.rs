@@ -168,8 +168,9 @@ impl StableStore {
         self.committed.last()
     }
 
-    /// Clones the most recent committed checkpoint.
-    pub fn latest_cloned(&self) -> Option<Checkpoint> {
+    /// A shared handle to the most recent committed checkpoint — a refcount
+    /// bump of the underlying bytes, not a deep copy.
+    pub fn latest_shared(&self) -> Option<Checkpoint> {
         self.committed.last().cloned()
     }
 

@@ -44,9 +44,10 @@ impl VolatileStore {
         self.latest.as_ref()
     }
 
-    /// Clones the most recent checkpoint (the adapted TB protocol copies it
-    /// to stable storage).
-    pub fn latest_cloned(&self) -> Option<Checkpoint> {
+    /// A shared handle to the most recent checkpoint (the adapted TB
+    /// protocol copies it to stable storage). The checkpoint bytes live
+    /// behind an `Arc`, so this is a refcount bump, not a deep copy.
+    pub fn latest_shared(&self) -> Option<Checkpoint> {
         self.latest.clone()
     }
 
@@ -90,9 +91,15 @@ mod tests {
     }
 
     #[test]
-    fn latest_cloned_matches_latest() {
+    fn latest_shared_matches_latest() {
         let mut v = VolatileStore::new();
         v.save(ckpt(9));
-        assert_eq!(v.latest_cloned().unwrap(), *v.latest().unwrap());
+        let shared = v.latest_shared().unwrap();
+        assert_eq!(shared, *v.latest().unwrap());
+        // Same underlying bytes, not a deep copy.
+        assert!(std::sync::Arc::ptr_eq(
+            &shared.shared_data(),
+            &v.latest().unwrap().shared_data()
+        ));
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Mission-bench regression record: runs the `missions` harness and appends
+# one labelled run (ms/mission per scheme + one Figure-7 sweep point) to a
+# JSON file. Dependency-free — cargo plus the repo's own harness, no jq.
+#
+# Usage: scripts/bench.sh [label] [samples] [json-path]
+#   label      stored with the run (default: "run")
+#   samples    timed missions per configuration (default: 10)
+#   json-path  record to append to (default: BENCH_missions.json at the root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-run}"
+SAMPLES="${2:-10}"
+JSON="${3:-BENCH_missions.json}"
+# cargo runs bench binaries with the package directory as cwd; hand the
+# harness an absolute path so the record lands where the caller asked.
+case "$JSON" in
+    /*) ;;
+    *) JSON="$PWD/$JSON" ;;
+esac
+
+BENCH_LABEL="$LABEL" BENCH_SAMPLES="$SAMPLES" BENCH_JSON="$JSON" \
+    cargo bench -q --bench missions
+
+echo "OK: run '$LABEL' ($SAMPLES samples) recorded in $JSON"

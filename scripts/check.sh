@@ -14,4 +14,13 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "OK: fmt, clippy and tier-1 all passed"
+echo "==> benches compile: cargo bench --no-run"
+cargo bench --no-run -q
+
+echo "==> bench.sh smoke (1 sample, throwaway record)"
+smoke_json="$(mktemp --suffix=.json)"
+trap 'rm -f "$smoke_json"' EXIT
+scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
+grep -q '"ms_per_mission"' "$smoke_json"
+
+echo "OK: fmt, clippy, tier-1 and bench smoke all passed"

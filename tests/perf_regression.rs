@@ -1,0 +1,112 @@
+//! Guards for the allocation-lean hot path.
+//!
+//! Two properties keep the perf work honest:
+//!
+//! 1. Tracing is observability only: the same seed must produce identical
+//!    metrics and verdicts with tracing on and off. Lazy trace closures and
+//!    host-side `Record` gating must never leak into simulation state.
+//! 2. A short traced-off mission stays within a pinned allocation budget.
+//!    The counter is thread-local, so concurrently running tests in this
+//!    binary do not perturb the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::cell::Cell;
+
+use synergy::{Mission, MissionOutcome, Scheme, SystemConfig};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting allocation events on the current
+/// thread. `try_with` keeps it safe during TLS teardown.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        SystemAlloc.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        SystemAlloc.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn mission(seed: u64, trace: bool) -> MissionOutcome {
+    Mission::new(
+        SystemConfig::builder()
+            .scheme(Scheme::Coordinated)
+            .seed(seed)
+            .duration_secs(30.0)
+            .internal_rate_per_min(60.0)
+            .external_rate_per_min(2.0)
+            .tb_interval_secs(5.0)
+            .hardware_fault_at_secs(20.0)
+            .trace(trace)
+            .build(),
+    )
+    .run()
+}
+
+#[test]
+fn tracing_toggle_does_not_change_results() {
+    for seed in [1u64, 7, 42, 1001] {
+        let traced = mission(seed, true);
+        let silent = mission(seed, false);
+        assert!(
+            !traced.trace.events().is_empty(),
+            "traced run recorded nothing (seed {seed})"
+        );
+        assert!(
+            silent.trace.events().is_empty(),
+            "disabled trace still recorded events (seed {seed})"
+        );
+        assert_eq!(
+            traced.metrics, silent.metrics,
+            "metrics diverged with tracing toggled (seed {seed})"
+        );
+        assert_eq!(
+            traced.verdicts, silent.verdicts,
+            "verdicts diverged with tracing toggled (seed {seed})"
+        );
+        assert_eq!(traced.device_messages, silent.device_messages);
+        assert_eq!(traced.shadow_promoted, silent.shadow_promoted);
+    }
+}
+
+#[test]
+fn untraced_mission_stays_within_allocation_budget() {
+    // Warm-up: global one-time allocations (lazy statics, first-use buffers)
+    // must not count against the budget.
+    let _ = mission(3, false);
+
+    let before = allocs_on_this_thread();
+    let outcome = mission(3, false);
+    let allocs = allocs_on_this_thread() - before;
+
+    assert!(outcome.verdicts.all_hold(), "{:?}", outcome.verdicts);
+    eprintln!("untraced 30s mission: {allocs} allocation events");
+    // Measured ~1.5k allocation events for this 30 s mission after the
+    // Arc-sharing + lazy-trace work (~2.8k before it). The bound leaves
+    // headroom for allocator/platform noise while still failing loudly if
+    // per-message clones or eager trace formatting come back.
+    const BUDGET: u64 = 2_500;
+    assert!(
+        allocs < BUDGET,
+        "untraced mission allocated {allocs} times (budget {BUDGET}); \
+         the hot path has regressed"
+    );
+}
