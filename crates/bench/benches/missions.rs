@@ -105,16 +105,33 @@ fn bench_fig7_point(samples: u64) -> Fig7Point {
     }
 }
 
+/// Strips characters that would break the hand-rolled record format:
+/// quotes (string delimiters) and braces (the brace-depth splitter).
+fn sanitize(field: &str) -> String {
+    field
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '{' | '}' | '\\' => '_',
+            other => other,
+        })
+        .collect()
+}
+
 /// One run as a JSON object, indented to sit inside the `"runs"` array.
 fn run_json(
     label: &str,
+    git_rev: Option<&str>,
     samples: u64,
     schemes: &[(&'static str, f64)],
     fig7: &Fig7Point,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "    {{");
-    let _ = writeln!(s, "      \"label\": \"{}\",", label.replace('"', "'"));
+    let _ = writeln!(s, "      \"label\": \"{}\",", sanitize(label));
+    if let Some(rev) = git_rev {
+        let _ = writeln!(s, "      \"git_rev\": \"{}\",", sanitize(rev));
+    }
     let _ = writeln!(s, "      \"samples\": {samples},");
     let _ = writeln!(s, "      \"ms_per_mission\": {{");
     for (i, (name, ms)) in schemes.iter().enumerate() {
@@ -131,21 +148,72 @@ fn run_json(
     s
 }
 
-/// Appends `run` to the `"runs"` array of the record at `path`, creating the
-/// file on first use. The format is owned end-to-end by this harness, so the
-/// append is plain string surgery on the closing `]`/`}` pair — no JSON
-/// library involved.
-fn append_run(path: &str, run: &str) {
-    let fresh = format!("{{\n  \"bench\": \"missions\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
-    let out = match std::fs::read_to_string(path) {
-        Ok(existing) => match existing.rfind("\n  ]\n}") {
-            Some(pos) => format!("{},\n{run}\n  ]\n}}\n", &existing[..pos]),
-            None => fresh,
-        },
-        Err(_) => fresh,
+/// Extracts the `"git_rev"` value from one run object's text, if present.
+fn run_git_rev(run: &str) -> Option<&str> {
+    let rest = &run[run.find("\"git_rev\": \"")? + "\"git_rev\": \"".len()..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// Splits an existing record into its run objects by brace depth. The
+/// format is owned end-to-end by this harness ([`sanitize`] keeps braces
+/// out of string fields), so depth tracking is exact — no JSON library
+/// involved.
+fn split_runs(record: &str) -> Vec<String> {
+    let body = match record.find("\"runs\": [") {
+        Some(pos) => &record[pos..],
+        None => return Vec::new(),
     };
+    let mut runs = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in body.chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                current.push(ch);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(ch);
+                if depth == 0 {
+                    runs.push(std::mem::take(&mut current));
+                }
+            }
+            _ if depth > 0 => current.push(ch),
+            _ => {}
+        }
+    }
+    runs
+}
+
+/// Appends `run` to the `"runs"` array of the record at `path`, creating
+/// the file on first use. Existing records from the same `git_rev` are
+/// replaced — re-benching one commit updates its numbers instead of
+/// stacking duplicate entries.
+fn append_run(path: &str, run: &str) {
+    let mut runs = std::fs::read_to_string(path)
+        .map(|existing| split_runs(&existing))
+        .unwrap_or_default();
+    let replaced = if let Some(rev) = run_git_rev(run) {
+        let before = runs.len();
+        runs.retain(|r| run_git_rev(r) != Some(rev));
+        before - runs.len()
+    } else {
+        0
+    };
+    runs.push(run.trim_start().to_string());
+    let mut out = String::from("{\n  \"bench\": \"missions\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    {r}{comma}");
+    }
+    out.push_str("  ]\n}\n");
     std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("bench record appended to {path}");
+    if replaced > 0 {
+        println!("bench record appended to {path} (replaced {replaced} same-rev run)");
+    } else {
+        println!("bench record appended to {path}");
+    }
 }
 
 fn main() {
@@ -154,6 +222,10 @@ fn main() {
     let fig7 = bench_fig7_point(samples);
     if let Ok(path) = std::env::var("BENCH_JSON") {
         let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
-        append_run(&path, &run_json(&label, samples, &schemes, &fig7));
+        let git_rev = std::env::var("BENCH_GIT_REV").ok();
+        append_run(
+            &path,
+            &run_json(&label, git_rev.as_deref(), samples, &schemes, &fig7),
+        );
     }
 }

@@ -1,0 +1,148 @@
+//! The cluster orchestrator binary: runs a seeded three-process TCP
+//! mission with one scheduled SIGKILL, restarts the victim from its
+//! on-disk checkpoints, and checks the device-output stream against a
+//! simulator run of the same seed and fault plan.
+//!
+//! ```text
+//! synergy-cluster [--seed <u64>] [--steps <u32>] [--kill-epoch <u64>]
+//!                 [--data-dir <path>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use synergy::NodeId;
+use synergy_cluster::{simulate_reference, Cluster, ClusterConfig, KillPlan};
+
+const TB_INTERVAL_SECS: f64 = 1.7;
+
+struct Args {
+    seed: u64,
+    steps: u32,
+    kill_epoch: Option<u64>,
+    data_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        seed: 11,
+        steps: 8,
+        kill_epoch: Some(3),
+        data_dir: std::env::temp_dir().join(format!("synergy-cluster-{}", std::process::id())),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => out.seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--steps" => out.steps = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--kill-epoch" => {
+                let v: u64 = value()?.parse().map_err(|e| format!("{e}"))?;
+                out.kill_epoch = (v != 0).then_some(v);
+            }
+            "--data-dir" => out.data_dir = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn node_bin() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let sibling = me.with_file_name("synergy-node");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!("synergy-node not found next to {}", me.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("synergy-cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node_bin = match node_bin() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("synergy-cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let victim = NodeId::P2;
+    println!(
+        "mission: seed {}, {} produces, Δ = {TB_INTERVAL_SECS}s{}",
+        args.seed,
+        args.steps,
+        args.kill_epoch
+            .map(|k| format!(", SIGKILL {victim} in round {k}"))
+            .unwrap_or_default()
+    );
+    let cfg = ClusterConfig {
+        seed: args.seed,
+        steps: args.steps,
+        tb_interval_secs: TB_INTERVAL_SECS,
+        kill: args.kill_epoch.map(|epoch| KillPlan { victim, epoch }),
+        node_bin,
+        data_root: args.data_dir.clone(),
+    };
+    let report = match Cluster::launch(cfg).and_then(Cluster::run) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synergy-cluster: mission failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("device stream: {} messages", report.device_payloads.len());
+    if let Some(kill) = &report.kill {
+        println!(
+            "kill round {}: staged write torn = {}, victim recovered epoch {:?} \
+             ({} torn write detected), global rollback to line {}",
+            kill.epoch,
+            kill.victim_began_writing,
+            kill.reload_epoch,
+            kill.reload_torn_writes,
+            kill.line,
+        );
+    }
+
+    let reference = simulate_reference(
+        args.seed,
+        args.steps,
+        TB_INTERVAL_SECS,
+        args.kill_epoch.map(|k| (victim, k)),
+    );
+    let mut ok = true;
+    if report.device_payloads == reference.device_payloads {
+        println!(
+            "verified: device stream matches the simulator reference \
+             ({} payloads{})",
+            reference.device_payloads.len(),
+            reference
+                .crash_epsilon
+                .map(|e| format!(", sim crash at grid {e:+.4}s"))
+                .unwrap_or_default()
+        );
+    } else {
+        eprintln!(
+            "MISMATCH: cluster device stream differs from the simulator \
+             ({} vs {} payloads)",
+            report.device_payloads.len(),
+            reference.device_payloads.len()
+        );
+        ok = false;
+    }
+    if !reference.verdicts_hold {
+        eprintln!("MISMATCH: simulator verdicts failed");
+        ok = false;
+    }
+    let _ = std::fs::remove_dir_all(&args.data_dir);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

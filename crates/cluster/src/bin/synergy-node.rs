@@ -1,0 +1,57 @@
+//! One cluster node process; spawned by the `synergy-cluster` orchestrator.
+//!
+//! ```text
+//! synergy-node --pid <1|2|3> --seed <u64> --data-dir <path> \
+//!              --ctrl <host:port> [--tb-interval-ms <u64>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use synergy_cluster::{run_node, NodeOpts};
+
+fn parse_args() -> Result<NodeOpts, String> {
+    let mut pid = None;
+    let mut seed = None;
+    let mut data_dir = None;
+    let mut ctrl_addr = None;
+    let mut tb_interval_ms = 1700u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--pid" => pid = Some(value()?.parse::<u32>().map_err(|e| e.to_string())?),
+            "--seed" => seed = Some(value()?.parse::<u64>().map_err(|e| e.to_string())?),
+            "--data-dir" => data_dir = Some(PathBuf::from(value()?)),
+            "--ctrl" => ctrl_addr = Some(value()?),
+            "--tb-interval-ms" => {
+                tb_interval_ms = value()?.parse::<u64>().map_err(|e| e.to_string())?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(NodeOpts {
+        pid: pid.ok_or("--pid is required")?,
+        seed: seed.ok_or("--seed is required")?,
+        data_dir: data_dir.ok_or("--data-dir is required")?,
+        ctrl_addr: ctrl_addr.ok_or("--ctrl is required")?,
+        tb_interval_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("synergy-node: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_node(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("synergy-node (pid {}): {e}", opts.pid);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! One cluster node process: a [`NodeRunner`] over the TCP data plane and
+//! a durable on-disk stable store, driven by the orchestrator's control
+//! connection.
+//!
+//! Boot sequence:
+//!
+//! 1. Open (or recover) the [`DiskStableStore`] in the node's data
+//!    directory. A leftover in-flight temp file from a killed incarnation
+//!    is detected here as a torn write; committed records are CRC-verified.
+//! 2. Bind the [`TcpTransport`] on an ephemeral port and start the node
+//!    event loop with a *commanded* [`TbRuntime`] — checkpoint rounds are
+//!    driven by the orchestrator, not by wall-clock timers, which keeps a
+//!    distributed mission deterministic.
+//! 3. Connect back to the orchestrator, announce
+//!    [`Hello`](CtrlReply::Hello) (data port + recovered epoch + torn-write
+//!    count), then serve control commands in lockstep.
+//!
+//! A restarted node does **not** restore itself: per the paper's global
+//! rollback, the *orchestrator* computes the epoch line across the cluster
+//! and commands [`Rollback`](CtrlMsg::Rollback) on every node, the
+//! restarted one included.
+
+use std::io;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+use synergy_clocks::SyncParams;
+use synergy_des::SimDuration;
+use synergy_middleware::{spawn_net_pump, NodeCmd, NodeInput, NodeStatus, SupEvent, TbRuntime};
+use synergy_net::tcp::TcpTransport;
+use synergy_net::{Endpoint, ProcessId};
+use synergy_storage::{DiskStableStore, Stable};
+use synergy_tb::{TbConfig, TbVariant};
+
+use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
+
+/// Boot parameters of one node process (parsed from `synergy-node` argv).
+#[derive(Clone, Debug)]
+pub struct NodeOpts {
+    /// Process id: 1 = `P1act`, 2 = `P1sdw`, 3 = `P2`.
+    pub pid: u32,
+    /// Mission seed (must match the orchestrator's).
+    pub seed: u64,
+    /// Directory holding this node's stable storage.
+    pub data_dir: PathBuf,
+    /// `host:port` of the orchestrator's control listener.
+    pub ctrl_addr: String,
+    /// TB checkpoint interval in milliseconds (grid spacing for epoch
+    /// bookkeeping; rounds themselves are commanded).
+    pub tb_interval_ms: u64,
+}
+
+fn tb_config(interval_ms: u64) -> TbConfig {
+    TbConfig::new(
+        TbVariant::Adapted,
+        SimDuration::from_millis(interval_ms),
+        SyncParams::new(SimDuration::from_micros(500), 0.0),
+        SimDuration::from_micros(50),
+        SimDuration::from_millis(2),
+    )
+}
+
+fn send_cmd(input_tx: &Sender<NodeInput>, cmd: NodeCmd) -> io::Result<()> {
+    input_tx
+        .send(NodeInput::Cmd(cmd))
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))
+}
+
+/// Round-trips a `Status` through the node's FIFO input channel; doubles as
+/// a barrier proving every earlier input has been processed.
+fn status_barrier(input_tx: &Sender<NodeInput>) -> io::Result<NodeStatus> {
+    let (tx, rx) = channel();
+    send_cmd(input_tx, NodeCmd::Status(tx))?;
+    rx.recv()
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))
+}
+
+/// Runs one node process until the orchestrator commands shutdown or the
+/// control connection drops.
+///
+/// # Errors
+///
+/// Storage, socket, or control-protocol failures.
+pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
+    let store = DiskStableStore::open(&opts.data_dir)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let recovered_epoch = store.latest_seq();
+    let recovered_torn = store.stats().torn_writes;
+
+    let net = Arc::new(TcpTransport::bind("127.0.0.1:0")?);
+    let data_port = net.local_addr().port();
+    let pid = ProcessId(opts.pid);
+    let net_rx = net.register(Endpoint::Process(pid));
+    let (input_tx, input_rx) = channel::<NodeInput>();
+    spawn_net_pump(pid, net_rx, input_tx.clone());
+
+    // Supervisor events (software recovery) are orchestrator concerns the
+    // cluster scenarios do not exercise; keep the receiver alive so node
+    // sends stay harmless no-ops.
+    let (sup_tx, _sup_rx) = channel::<SupEvent>();
+    let tb = TbRuntime::commanded(tb_config(opts.tb_interval_ms), store);
+    let runner = synergy_middleware::NodeRunner::new(
+        pid,
+        opts.seed,
+        Arc::clone(&net),
+        input_rx,
+        sup_tx,
+        Some(tb),
+    );
+    let runner_join = std::thread::Builder::new()
+        .name(format!("synergy-cluster-node-{pid}"))
+        .spawn(move || runner.run())
+        .expect("spawn node loop");
+
+    let mut ctrl = TcpStream::connect(&opts.ctrl_addr)?;
+    ctrl.set_nodelay(true)?;
+    send_ctrl(
+        &mut ctrl,
+        &CtrlReply::Hello {
+            pid: opts.pid,
+            data_port,
+            epoch: recovered_epoch,
+            torn_writes: recovered_torn,
+        },
+    )?;
+
+    // A recv error means the orchestrator is gone: stop serving (the
+    // process exits; durable state stays on disk for the next incarnation).
+    while let Ok(msg) = recv_ctrl::<CtrlMsg>(&mut ctrl) {
+        let reply = match msg {
+            CtrlMsg::Produce { external } => {
+                send_cmd(&input_tx, NodeCmd::Produce { external })?;
+                // Barrier: the produce (and its sends) has been fully
+                // processed before the orchestrator sees the reply.
+                status_barrier(&input_tx)?;
+                CtrlReply::Done
+            }
+            CtrlMsg::SetRoute { endpoint, addr } => {
+                let addr = addr.parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad route addr: {e}"))
+                })?;
+                net.set_route(endpoint, addr);
+                CtrlReply::Done
+            }
+            CtrlMsg::BeginCkpt => {
+                let (tx, rx) = channel();
+                send_cmd(&input_tx, NodeCmd::BeginCkpt(tx))?;
+                let writing = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))?;
+                CtrlReply::Began { writing }
+            }
+            CtrlMsg::CommitCkpt => {
+                let (tx, rx) = channel();
+                send_cmd(&input_tx, NodeCmd::CommitCkpt(tx))?;
+                let epoch = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))?;
+                CtrlReply::Committed { epoch }
+            }
+            CtrlMsg::Rollback { epoch } => {
+                let (tx, rx) = channel();
+                send_cmd(&input_tx, NodeCmd::Rollback { epoch, reply: tx })?;
+                let outcome = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))?;
+                CtrlReply::RolledBack {
+                    restored_epoch: outcome.restored_epoch,
+                    resent: outcome.resent as u64,
+                }
+            }
+            CtrlMsg::Status => {
+                let s = status_barrier(&input_tx)?;
+                CtrlReply::Status(WireStatus {
+                    dirty: s.dirty,
+                    delivered: s.delivered,
+                    at_runs: s.at_runs,
+                    stable_epoch: s.stable_epoch,
+                    torn_writes: s.torn_writes,
+                    unacked: s.unacked as u64,
+                    promoted: s.promoted,
+                    logged: s.logged as u64,
+                })
+            }
+            CtrlMsg::Shutdown => {
+                send_cmd(&input_tx, NodeCmd::Shutdown)?;
+                send_ctrl(&mut ctrl, &CtrlReply::Done)?;
+                break;
+            }
+        };
+        send_ctrl(&mut ctrl, &reply)?;
+    }
+    drop(input_tx);
+    let _ = runner_join.join();
+    net.shutdown();
+    Ok(())
+}

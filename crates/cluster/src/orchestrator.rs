@@ -1,0 +1,447 @@
+//! The cluster orchestrator: spawns the three `synergy-node` processes,
+//! drives the mission grid (produces + commanded checkpoint rounds), kills
+//! and restarts a victim per the fault plan, and coordinates the paper's
+//! global rollback across real OS processes.
+//!
+//! The mission is laid out on the same grid a simulator run uses: external
+//! produces fire at `t = 1, 2, …, steps` (grid seconds) and checkpoint
+//! round `g` runs at `t = g·Δ`. The orchestrator replays that timeline in
+//! *logical* order — every command is a lockstep control round-trip — so a
+//! cluster run is comparable event-for-event with a [`synergy`] simulation
+//! of the same seed and fault plan (see [`crate::verify`]).
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use synergy::NodeId;
+use synergy_net::tcp::TcpTransport;
+use synergy_net::{DeviceId, Endpoint, MessageBody, ProcessId};
+
+use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
+
+/// How long to wait for a spawned node's `Hello` or a control reply.
+const CTRL_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The scheduled kill: SIGKILL `victim` in the middle of checkpoint round
+/// `epoch` — after its stable write is staged on disk, before it commits —
+/// then restart it from its data directory.
+#[derive(Clone, Copy, Debug)]
+pub struct KillPlan {
+    /// The node to kill (the fault-plan index mapping of [`NodeId`]).
+    pub victim: NodeId,
+    /// The checkpoint round (grid epoch) torn by the kill.
+    pub epoch: u64,
+}
+
+/// Configuration of one cluster mission.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Mission seed, shared by every node (and the reference simulation).
+    pub seed: u64,
+    /// External produces fire at grid seconds `1..=steps`.
+    pub steps: u32,
+    /// Checkpoint grid spacing Δ in grid seconds.
+    pub tb_interval_secs: f64,
+    /// The scheduled hardware fault, if any.
+    pub kill: Option<KillPlan>,
+    /// Path to the `synergy-node` binary.
+    pub node_bin: PathBuf,
+    /// Root directory for per-node stable storage
+    /// (`<data_root>/node-<index>`).
+    pub data_root: PathBuf,
+}
+
+/// What the scheduled kill produced.
+#[derive(Clone, Debug)]
+pub struct KillReport {
+    /// The checkpoint round during which the victim died.
+    pub epoch: u64,
+    /// Whether the victim confirmed a staged (in-flight) stable write
+    /// before the kill — the write the kill tears.
+    pub victim_began_writing: bool,
+    /// Newest committed epoch the restarted victim recovered from disk.
+    pub reload_epoch: Option<u64>,
+    /// Torn writes the restarted victim detected while reloading.
+    pub reload_torn_writes: u64,
+    /// The epoch line the orchestrator computed for the global rollback.
+    pub line: u64,
+    /// Per-node rollback outcomes: `(pid, restored_epoch, resent)`.
+    pub rollbacks: Vec<(u32, Option<u64>, u64)>,
+}
+
+/// Everything a finished cluster mission reports.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Device-bound external payloads, in arrival order.
+    pub device_payloads: Vec<Vec<u8>>,
+    /// The kill/restart observations, when a kill was scheduled.
+    pub kill: Option<KillReport>,
+    /// Final per-node statuses `(pid, status)`.
+    pub final_status: Vec<(u32, WireStatus)>,
+}
+
+struct NodeHandle {
+    pid: u32,
+    index: usize,
+    child: Child,
+    ctrl: TcpStream,
+    data_addr: String,
+    /// Committed epoch as tracked through control replies (`Committed`,
+    /// `Hello` on restart, `RolledBack`).
+    epoch: Option<u64>,
+}
+
+impl NodeHandle {
+    fn roundtrip(&mut self, msg: &CtrlMsg) -> io::Result<CtrlReply> {
+        send_ctrl(&mut self.ctrl, msg)?;
+        recv_ctrl(&mut self.ctrl)
+    }
+}
+
+/// Accepts one node's control connection and reads its `Hello`.
+fn accept_hello(listener: &TcpListener) -> io::Result<(TcpStream, u32, u16, Option<u64>, u64)> {
+    let deadline = Instant::now() + CTRL_TIMEOUT;
+    listener.set_nonblocking(true)?;
+    let mut stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no node connected to the control listener",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    listener.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(CTRL_TIMEOUT))?;
+    match recv_ctrl::<CtrlReply>(&mut stream)? {
+        CtrlReply::Hello {
+            pid,
+            data_port,
+            epoch,
+            torn_writes,
+        } => Ok((stream, pid, data_port, epoch, torn_writes)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Hello, got {other:?}"),
+        )),
+    }
+}
+
+/// A running three-process cluster mission.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    ctrl_listener: TcpListener,
+    ctrl_addr: String,
+    device_net: TcpTransport,
+    device_rx: std::sync::mpsc::Receiver<synergy_net::Envelope>,
+    device_addr: String,
+    nodes: Vec<NodeHandle>,
+}
+
+impl Cluster {
+    /// Spawns the three node processes and wires the full route table.
+    ///
+    /// # Errors
+    ///
+    /// Process-spawn, socket, or control-protocol failures.
+    pub fn launch(cfg: ClusterConfig) -> io::Result<Self> {
+        let ctrl_listener = TcpListener::bind("127.0.0.1:0")?;
+        let ctrl_addr = ctrl_listener.local_addr()?.to_string();
+        let device_net = TcpTransport::bind("127.0.0.1:0")?;
+        let device_rx = device_net.register(Endpoint::Device(DeviceId(0)));
+        let device_addr = device_net.local_addr().to_string();
+
+        let mut cluster = Cluster {
+            cfg,
+            ctrl_listener,
+            ctrl_addr,
+            device_net,
+            device_rx,
+            device_addr,
+            nodes: Vec::new(),
+        };
+        for node in NodeId::ALL {
+            let child = cluster.spawn_child(node)?;
+            let (ctrl, pid, data_port, epoch, torn) = accept_hello(&cluster.ctrl_listener)?;
+            if pid != node.index() as u32 + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("node {node} announced pid {pid}"),
+                ));
+            }
+            if epoch.is_some() || torn != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("fresh node {node} reports prior state"),
+                ));
+            }
+            cluster.nodes.push(NodeHandle {
+                pid,
+                index: node.index(),
+                child,
+                ctrl,
+                data_addr: format!("127.0.0.1:{data_port}"),
+                epoch: None,
+            });
+        }
+        cluster.distribute_routes()?;
+        Ok(cluster)
+    }
+
+    fn spawn_child(&self, node: NodeId) -> io::Result<Child> {
+        let data_dir = self.cfg.data_root.join(format!("node-{}", node.index()));
+        std::fs::create_dir_all(&data_dir)?;
+        let interval_ms = (self.cfg.tb_interval_secs * 1000.0).round() as u64;
+        Command::new(&self.cfg.node_bin)
+            .arg("--pid")
+            .arg((node.index() + 1).to_string())
+            .arg("--seed")
+            .arg(self.cfg.seed.to_string())
+            .arg("--data-dir")
+            .arg(&data_dir)
+            .arg("--ctrl")
+            .arg(&self.ctrl_addr)
+            .arg("--tb-interval-ms")
+            .arg(interval_ms.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+    }
+
+    /// Sends every node the full route table (peers + device).
+    fn distribute_routes(&mut self) -> io::Result<()> {
+        let routes: Vec<(Endpoint, String)> = self
+            .nodes
+            .iter()
+            .map(|n| (Endpoint::Process(ProcessId(n.pid)), n.data_addr.clone()))
+            .chain(std::iter::once((
+                Endpoint::Device(DeviceId(0)),
+                self.device_addr.clone(),
+            )))
+            .collect();
+        for i in 0..self.nodes.len() {
+            for (endpoint, addr) in &routes {
+                let reply = self.nodes[i].roundtrip(&CtrlMsg::SetRoute {
+                    endpoint: *endpoint,
+                    addr: addr.clone(),
+                })?;
+                expect_done(reply)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Status round-trip on every node: a cluster-wide command barrier.
+    fn barrier(&mut self) -> io::Result<()> {
+        for node in &mut self.nodes {
+            node.roundtrip(&CtrlMsg::Status)?;
+        }
+        Ok(())
+    }
+
+    /// One commanded checkpoint round on every node.
+    fn checkpoint_round(&mut self) -> io::Result<()> {
+        for node in &mut self.nodes {
+            let reply = node.roundtrip(&CtrlMsg::BeginCkpt)?;
+            if !matches!(reply, CtrlReply::Began { writing: true }) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("pid {}: round did not stage a write: {reply:?}", node.pid),
+                ));
+            }
+        }
+        for node in &mut self.nodes {
+            match node.roundtrip(&CtrlMsg::CommitCkpt)? {
+                CtrlReply::Committed { epoch } => node.epoch = epoch,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("pid {}: bad commit reply {other:?}", node.pid),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The kill round: stage writes everywhere, SIGKILL the victim with its
+    /// write torn open, commit the survivors, restart the victim from disk,
+    /// and run the paper's global rollback to the epoch line.
+    fn kill_round(&mut self, plan: KillPlan) -> io::Result<KillReport> {
+        let victim = plan.victim.index();
+        let mut victim_began_writing = false;
+        for i in 0..self.nodes.len() {
+            let reply = self.nodes[i].roundtrip(&CtrlMsg::BeginCkpt)?;
+            if self.nodes[i].index == victim {
+                victim_began_writing = matches!(reply, CtrlReply::Began { writing: true });
+            }
+        }
+        // The hardware fault: SIGKILL mid-round. The victim's in-flight
+        // stable write is now a genuinely torn temp file on disk.
+        {
+            let node = &mut self.nodes[victim];
+            node.child.kill()?;
+            node.child.wait()?;
+        }
+        for i in 0..self.nodes.len() {
+            if i == victim {
+                continue;
+            }
+            match self.nodes[i].roundtrip(&CtrlMsg::CommitCkpt)? {
+                CtrlReply::Committed { epoch } => self.nodes[i].epoch = epoch,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("survivor commit reply {other:?}"),
+                    ))
+                }
+            }
+        }
+
+        // Restart the victim from its data directory; its Hello reports
+        // what it recovered (CRC-verified checkpoints + the torn write).
+        let child = self.spawn_child(plan.victim)?;
+        let (ctrl, pid, data_port, reload_epoch, reload_torn) = accept_hello(&self.ctrl_listener)?;
+        if pid != victim as u32 + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("restarted victim announced pid {pid}"),
+            ));
+        }
+        {
+            let node = &mut self.nodes[victim];
+            node.child = child;
+            node.ctrl = ctrl;
+            node.data_addr = format!("127.0.0.1:{data_port}");
+            node.epoch = reload_epoch;
+        }
+        self.distribute_routes()?;
+
+        // The epoch line: minimum committed epoch over all (now live)
+        // processes; a node with nothing committed contributes 0.
+        let line = self
+            .nodes
+            .iter()
+            .map(|n| n.epoch.unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        let mut rollbacks = Vec::new();
+        for node in &mut self.nodes {
+            match node.roundtrip(&CtrlMsg::Rollback { epoch: line })? {
+                CtrlReply::RolledBack {
+                    restored_epoch,
+                    resent,
+                } => {
+                    node.epoch = restored_epoch;
+                    rollbacks.push((node.pid, restored_epoch, resent));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad rollback reply {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(KillReport {
+            epoch: plan.epoch,
+            victim_began_writing,
+            reload_epoch,
+            reload_torn_writes: reload_torn,
+            line,
+            rollbacks,
+        })
+    }
+
+    /// Runs the mission to completion and reports.
+    ///
+    /// # Errors
+    ///
+    /// Control-protocol failures, a node dying unexpectedly, or a missing
+    /// device message.
+    pub fn run(mut self) -> io::Result<ClusterReport> {
+        let mut device_payloads = Vec::new();
+        let mut kill_report = None;
+        let mut next_grid: u64 = 1;
+        for s in 1..=self.cfg.steps {
+            // Checkpoint rounds whose grid time falls before this produce.
+            while self.cfg.tb_interval_secs * (next_grid as f64) < f64::from(s) {
+                self.barrier()?;
+                match self.cfg.kill {
+                    Some(plan) if plan.epoch == next_grid => {
+                        kill_report = Some(self.kill_round(plan)?);
+                    }
+                    _ => self.checkpoint_round()?,
+                }
+                next_grid += 1;
+            }
+            // The scripted external produce on component 1: active and
+            // shadow stay aligned, the active's output reaches the device.
+            for i in [NodeId::P1Act.index(), NodeId::P1Sdw.index()] {
+                expect_done(self.nodes[i].roundtrip(&CtrlMsg::Produce { external: true })?)?;
+            }
+            let env = self
+                .device_rx
+                .recv_timeout(CTRL_TIMEOUT)
+                .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "no device message"))?;
+            match env.body {
+                MessageBody::External { payload } => device_payloads.push(payload),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("device received non-external body {other:?}"),
+                    ))
+                }
+            }
+        }
+
+        let mut final_status = Vec::new();
+        for node in &mut self.nodes {
+            if let CtrlReply::Status(s) = node.roundtrip(&CtrlMsg::Status)? {
+                final_status.push((node.pid, s));
+            }
+        }
+        for node in &mut self.nodes {
+            let _ = node.roundtrip(&CtrlMsg::Shutdown);
+            let _ = node.child.wait();
+        }
+        self.device_net.shutdown();
+        Ok(ClusterReport {
+            device_payloads,
+            kill: kill_report,
+            final_status,
+        })
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Reap any children still alive (e.g. an error path before the
+        // orderly shutdown); killed processes must not outlive the mission.
+        for node in &mut self.nodes {
+            let _ = node.child.kill();
+            let _ = node.child.wait();
+        }
+    }
+}
+
+fn expect_done(reply: CtrlReply) -> io::Result<()> {
+    if reply == CtrlReply::Done {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Done, got {reply:?}"),
+        ))
+    }
+}

@@ -1,0 +1,188 @@
+//! The simulator reference for a cluster mission.
+//!
+//! A cluster run and a [`synergy`] simulation of the same seed and fault
+//! plan walk the same logical timeline: external produces at grid seconds
+//! `1..=steps`, checkpoint grid at `g·Δ`, one hardware fault torn into
+//! checkpoint round `k`. The device — the paper's observable surface — must
+//! then see the *same payload sequence* in both worlds, including the
+//! post-rollback repeats, and both worlds must agree on the epoch line.
+//!
+//! The only non-determinism to bridge is the crash placement: the cluster
+//! kills the victim *inside* the commanded round (write staged, not
+//! committed), while the simulator's nodes have sampled clock offsets, so
+//! the crash instant that lands inside the victim's blocking period varies
+//! by a few milliseconds with the seed — on either side of the grid point.
+//! [`simulate_reference`] scans a dense ε range around the grid point and
+//! keeps the first placement that reproduces the cluster fault shape
+//! (exactly one torn write, one global rollback).
+
+use synergy::{HardwareFault, NodeId, Scheme, System, SystemConfig};
+use synergy_des::{SimDuration, SimTime};
+use synergy_net::MessageBody;
+
+/// What the reference simulation observed.
+#[derive(Clone, Debug)]
+pub struct SimReference {
+    /// Device-bound external payloads, in arrival order.
+    pub device_payloads: Vec<Vec<u8>>,
+    /// Whether every global-state checker held.
+    pub verdicts_hold: bool,
+    /// Torn stable writes across the mission.
+    pub torn_writes: u64,
+    /// Completed global hardware rollbacks.
+    pub hardware_recoveries: u64,
+    /// Mean hardware-rollback distance in grid seconds, if any rollback
+    /// happened.
+    pub mean_rollback_secs: Option<f64>,
+    /// The crash offset ε (grid seconds past `k·Δ`) the search settled on.
+    pub crash_epsilon: Option<f64>,
+}
+
+/// Crash-offset scan around the grid point. The victim's blocking period
+/// is a few milliseconds wide and starts when its *local* clock reaches the
+/// grid, so with seeded clock offsets the window can begin up to the offset
+/// bound *before* the global grid instant — the scan must cover negative ε
+/// too. 0.2 ms steps are finer than any blocking period in the default
+/// config, so the scan cannot step over the window.
+const EPSILON_RANGE_SECS: (f64, f64) = (-0.002, 0.006);
+const EPSILON_STEP_SECS: f64 = 0.0002;
+
+fn epsilon_scan() -> impl Iterator<Item = f64> {
+    let (lo, hi) = EPSILON_RANGE_SECS;
+    let n = ((hi - lo) / EPSILON_STEP_SECS).round() as u32;
+    (0..=n).map(move |i| lo + EPSILON_STEP_SECS * f64::from(i))
+}
+
+fn build_config(
+    seed: u64,
+    steps: u32,
+    tb_interval_secs: f64,
+    fault_at: Option<(NodeId, f64)>,
+) -> SystemConfig {
+    let mut b = SystemConfig::builder()
+        .scheme(Scheme::Coordinated)
+        .seed(seed)
+        .duration_secs(f64::from(steps) + 1.0)
+        .tb_interval_secs(tb_interval_secs)
+        .restart_delay(SimDuration::from_millis(300))
+        .no_workload()
+        .trace(false);
+    for s in 1..=steps {
+        b = b.scripted_send(f64::from(s), 1, true);
+    }
+    if let Some((node, at)) = fault_at {
+        b = b.hardware_fault(HardwareFault::on(node, SimTime::from_secs_f64(at)));
+    }
+    b.build()
+}
+
+fn run_once(cfg: SystemConfig) -> SimReference {
+    let mut system = System::new(cfg);
+    system.run();
+    let device_payloads = system
+        .device_log()
+        .iter()
+        .filter_map(|(_, env)| match &env.body {
+            MessageBody::External { payload } => Some(payload.clone()),
+            _ => None,
+        })
+        .collect();
+    let metrics = system.metrics();
+    SimReference {
+        device_payloads,
+        verdicts_hold: system.verdicts().all_hold(),
+        torn_writes: metrics.torn_writes,
+        hardware_recoveries: metrics.hardware_recoveries,
+        mean_rollback_secs: metrics.mean_hardware_rollback(),
+        crash_epsilon: None,
+    }
+}
+
+/// Runs the reference simulation for a cluster mission.
+///
+/// With `kill_epoch` set, the crash is placed at `k·Δ + ε` for the first ε
+/// in the scan that tears exactly one stable write and completes exactly
+/// one global rollback — the fault shape the cluster's kill round produces
+/// by construction. Falls back to the last candidate if none match (the
+/// caller's assertions will then report the mismatch).
+pub fn simulate_reference(
+    seed: u64,
+    steps: u32,
+    tb_interval_secs: f64,
+    kill: Option<(NodeId, u64)>,
+) -> SimReference {
+    let Some((victim, kill_epoch)) = kill else {
+        return run_once(build_config(seed, steps, tb_interval_secs, None));
+    };
+    let grid_t = tb_interval_secs * kill_epoch as f64;
+    let mut last = None;
+    for eps in epsilon_scan() {
+        let cfg = build_config(seed, steps, tb_interval_secs, Some((victim, grid_t + eps)));
+        let mut r = run_once(cfg);
+        r.crash_epsilon = Some(eps);
+        let matches_cluster_fault = r.torn_writes == 1 && r.hardware_recoveries == 1;
+        last = Some(r);
+        if matches_cluster_fault {
+            break;
+        }
+    }
+    last.expect("ladder is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_reference_serves_every_produce() {
+        let r = simulate_reference(11, 4, 1.7, None);
+        assert!(r.verdicts_hold);
+        assert_eq!(r.device_payloads.len(), 4, "one device message per step");
+        assert_eq!(r.torn_writes, 0);
+        assert_eq!(r.hardware_recoveries, 0);
+    }
+
+    #[test]
+    fn kill_reference_finds_a_torn_write_placement() {
+        let r = simulate_reference(11, 8, 1.7, Some((NodeId::P2, 3)));
+        assert!(r.verdicts_hold, "the coordinated scheme must survive");
+        assert_eq!(r.torn_writes, 1, "ε ladder must land inside blocking");
+        assert_eq!(r.hardware_recoveries, 1);
+        assert_eq!(
+            r.device_payloads.len(),
+            8,
+            "every scripted produce reaches the device"
+        );
+        // Rolling back from the torn epoch k to the line k−1 costs one grid
+        // interval plus the restart delay.
+        let d = r.mean_rollback_secs.expect("rollback recorded");
+        assert!(
+            (d - 2.0).abs() < 0.25,
+            "rollback distance ≈ Δ + 0.3, got {d}"
+        );
+    }
+
+    #[test]
+    fn kill_placement_is_found_across_seeds_and_rounds() {
+        // The scan must reproduce the cluster fault shape regardless of the
+        // seeded clock offsets — seed 23 / round 2 regressed the old sparse
+        // all-positive ladder (the victim's window began before the grid).
+        for (seed, steps, kill_epoch) in [(23, 6, 2), (5, 8, 3), (42, 6, 2), (11, 8, 1)] {
+            let r = simulate_reference(seed, steps, 1.7, Some((NodeId::P2, kill_epoch)));
+            assert_eq!(r.torn_writes, 1, "seed {seed} round {kill_epoch}: torn");
+            assert_eq!(
+                r.hardware_recoveries, 1,
+                "seed {seed} round {kill_epoch}: rollback"
+            );
+            assert!(r.verdicts_hold, "seed {seed} round {kill_epoch}: verdicts");
+            assert_eq!(r.device_payloads.len(), steps as usize);
+        }
+    }
+
+    #[test]
+    fn reference_is_deterministic_per_seed() {
+        let a = simulate_reference(7, 5, 1.7, None);
+        let b = simulate_reference(7, 5, 1.7, None);
+        assert_eq!(a.device_payloads, b.device_payloads);
+    }
+}

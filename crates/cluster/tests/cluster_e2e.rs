@@ -1,0 +1,168 @@
+//! End-to-end cluster acceptance: a seeded three-process TCP mission with
+//! one scheduled SIGKILL and restart completes; the restarted node recovers
+//! from its CRC-verified on-disk store with the torn (aborted) write
+//! detected; and the device-output stream matches a simulator run of the
+//! same seed and fault plan.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use synergy::NodeId;
+use synergy_cluster::{simulate_reference, Cluster, ClusterConfig, KillPlan};
+
+const TB_INTERVAL_SECS: f64 = 1.7;
+
+fn unique_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "synergy-cluster-e2e-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create data root");
+    dir
+}
+
+fn launch(seed: u64, steps: u32, kill: Option<KillPlan>, data_root: &Path) -> Cluster {
+    Cluster::launch(ClusterConfig {
+        seed,
+        steps,
+        tb_interval_secs: TB_INTERVAL_SECS,
+        kill,
+        node_bin: PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root: data_root.to_path_buf(),
+    })
+    .expect("cluster launches")
+}
+
+#[test]
+fn fault_free_mission_matches_the_simulator() {
+    let data_root = unique_dir("clean");
+    let report = launch(7, 5, None, &data_root).run().expect("mission runs");
+    let reference = simulate_reference(7, 5, TB_INTERVAL_SECS, None);
+    assert!(reference.verdicts_hold);
+    assert_eq!(
+        report.device_payloads.len(),
+        5,
+        "one device message per step"
+    );
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "cluster and simulator device streams must be identical"
+    );
+    // Grid points 1.7 and 3.4 passed: everyone committed two epochs.
+    for (pid, status) in &report.final_status {
+        assert_eq!(status.stable_epoch, Some(2), "pid {pid}");
+        assert_eq!(status.torn_writes, 0, "pid {pid}");
+    }
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn sigkill_mission_recovers_from_disk_and_matches_the_simulator() {
+    let seed = 11;
+    let steps = 8;
+    let kill_epoch = 3; // grid t = 5.1, torn inside the round
+    let victim = NodeId::P2;
+    let data_root = unique_dir("kill");
+
+    let report = launch(
+        seed,
+        steps,
+        Some(KillPlan {
+            victim,
+            epoch: kill_epoch,
+        }),
+        &data_root,
+    )
+    .run()
+    .expect("mission completes despite the kill");
+    let kill = report.kill.as_ref().expect("kill executed");
+
+    // The kill tore a staged write: the victim confirmed an in-flight
+    // stable write before SIGKILL, and its restarted incarnation found the
+    // leftover temp file (torn write) plus the CRC-verified previous
+    // commits, recovering exactly the epochs committed before the torn
+    // round.
+    assert!(kill.victim_began_writing, "write staged before the kill");
+    assert_eq!(
+        kill.reload_epoch,
+        Some(kill_epoch - 1),
+        "victim recovers the last committed epoch from disk"
+    );
+    assert_eq!(
+        kill.reload_torn_writes, 1,
+        "the aborted on-disk write is detected on reload"
+    );
+
+    // Global rollback: survivors committed the torn epoch, the victim did
+    // not, so the epoch line is k−1 and every process restores it.
+    assert_eq!(kill.line, kill_epoch - 1);
+    assert_eq!(kill.rollbacks.len(), 3);
+    for (pid, restored, resent) in &kill.rollbacks {
+        assert_eq!(
+            *restored,
+            Some(kill_epoch - 1),
+            "pid {pid} restores the epoch line"
+        );
+        assert_eq!(*resent, 0, "pid {pid}: quiesced mission has no unacked");
+    }
+
+    // The observable surface: the device payload sequence — including the
+    // post-rollback repeats — must equal the simulator's for the same seed
+    // and fault plan.
+    let reference = simulate_reference(seed, steps, TB_INTERVAL_SECS, Some((victim, kill_epoch)));
+    assert!(reference.verdicts_hold, "simulator verdicts hold");
+    assert_eq!(reference.torn_writes, 1, "sim reproduces the torn write");
+    assert_eq!(reference.hardware_recoveries, 1);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "cluster and simulator device streams must be identical"
+    );
+
+    // Rollback distance: losing the torn epoch costs one grid interval
+    // plus the restart delay in the simulator's clock; the cluster's
+    // epoch-line arithmetic must agree.
+    let cluster_distance = (kill_epoch - kill.line) as f64 * TB_INTERVAL_SECS + 0.3;
+    let sim_distance = reference.mean_rollback_secs.expect("sim rolled back");
+    assert!(
+        (sim_distance - cluster_distance).abs() < 0.25,
+        "rollback distance: sim {sim_distance:.3}s vs cluster {cluster_distance:.3}s"
+    );
+
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn first_round_kill_rolls_every_node_back_to_the_initial_state() {
+    // Killing the victim in round 1 leaves it with no committed checkpoint
+    // at all: the epoch line is 0 and every node — survivors included —
+    // must restart from the initial application state, exactly as the
+    // simulator's hardware recovery does.
+    let seed = 5;
+    let steps = 8;
+    let victim = NodeId::P2;
+    let data_root = unique_dir("line0");
+
+    let report = launch(seed, steps, Some(KillPlan { victim, epoch: 1 }), &data_root)
+        .run()
+        .expect("mission completes despite the round-1 kill");
+    let kill = report.kill.as_ref().expect("kill executed");
+
+    assert!(kill.victim_began_writing);
+    assert_eq!(kill.reload_epoch, None, "nothing committed before the kill");
+    assert_eq!(kill.reload_torn_writes, 1);
+    assert_eq!(kill.line, 0, "no committed epoch anywhere: the line is 0");
+    for (pid, restored, _) in &kill.rollbacks {
+        assert_eq!(*restored, None, "pid {pid}: initial-state restart");
+    }
+
+    let reference = simulate_reference(seed, steps, TB_INTERVAL_SECS, Some((victim, 1)));
+    assert!(reference.verdicts_hold);
+    assert_eq!(reference.torn_writes, 1);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "cluster and simulator device streams must be identical"
+    );
+    let _ = std::fs::remove_dir_all(&data_root);
+}

@@ -182,13 +182,13 @@ impl SystemConfigBuilder {
         self
     }
 
-    /// Schedules a hardware fault on `P2`'s node (node 2) at `secs`.
-    pub fn hardware_fault_at_secs(mut self, secs: f64) -> Self {
-        self.cfg.faults.hardware.push(HardwareFault {
-            at: SimTime::from_secs_f64(secs),
-            node: 2,
-        });
-        self
+    /// Schedules a hardware fault on `P2`'s node
+    /// ([`NodeId::P2`](crate::NodeId)) at `secs`.
+    pub fn hardware_fault_at_secs(self, secs: f64) -> Self {
+        self.hardware_fault(HardwareFault::on(
+            crate::NodeId::P2,
+            SimTime::from_secs_f64(secs),
+        ))
     }
 
     /// Schedules a hardware fault on an arbitrary node.

@@ -58,7 +58,7 @@ pub mod workload;
 pub use app::{Application, CounterApp};
 pub use checkers::{GlobalChecker, Verdicts};
 pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
-pub use faults::{FaultPlan, HardwareFault, SoftwareFault};
+pub use faults::{FaultPlan, HardwareFault, NodeId, SoftwareFault};
 pub use metrics::RunMetrics;
 pub use payload::{CheckpointPayload, SentRecord};
 pub use system::{Mission, MissionOutcome, System};

@@ -39,10 +39,13 @@ use std::time::Duration;
 use synergy_net::threaded::ThreadedNet;
 use synergy_net::{DeviceId, Endpoint, Envelope, ProcessId};
 
-pub use node::{NodeReport, NodeStatus};
+pub use node::{
+    spawn_net_pump, NodeCmd, NodeInput, NodeReport, NodeRunner, NodeStatus, RollbackOutcome,
+};
+pub use supervisor::SupEvent;
+pub use tb_runtime::{TbEffect, TbRuntime};
 
-use node::{NodeCmd, NodeInput, NodeRunner};
-use supervisor::{SupEvent, Supervisor};
+use supervisor::Supervisor;
 
 /// `P1act`'s process id (same layout as the simulator).
 pub const P1ACT: ProcessId = ProcessId(1);
@@ -133,14 +136,15 @@ impl Middleware {
         let mut joins = Vec::new();
         for pid in [P1ACT, P1SDW, P2] {
             let (tx, rx) = channel::<NodeInput>();
+            let net_rx = net.register(Endpoint::Process(pid));
+            spawn_net_pump(pid, net_rx, tx.clone());
             let runner = NodeRunner::new(
                 pid,
                 config.seed,
                 Arc::clone(&net),
-                tx.clone(),
                 rx,
                 sup_tx.clone(),
-                config.tb_config(),
+                config.tb_config().map(TbRuntime::new),
             );
             cmd.insert(pid, tx);
             joins.push(

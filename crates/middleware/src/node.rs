@@ -4,9 +4,16 @@
 //! The thread is a driver in the sense of
 //! [`synergy::system::host`]: it feeds [`HostEvent`]s from its input
 //! channel and interprets the returned [`HostAction`]s against the real
-//! transport. The wall-clock TB runtime stays outside the host (the host's
-//! own TB slot is `None` here) and forwards its blocking/commit
-//! notifications through [`ProcessHost::engine_event`].
+//! transport. The TB runtime stays outside the host (the host's own TB slot
+//! is `None` here) and forwards its blocking/commit notifications through
+//! [`ProcessHost::engine_event`].
+//!
+//! The runner is generic over its [`Transport`] and its TB runtime's
+//! [`Stable`] backend so the same loop serves both drivers: the in-process
+//! threaded middleware ([`ThreadedNet`](synergy_net::threaded::ThreadedNet) +
+//! in-memory store, wall-clock TB) and the multi-process cluster runtime
+//! ([`TcpTransport`](synergy_net::tcp::TcpTransport) + on-disk store,
+//! commanded TB rounds).
 
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -17,9 +24,9 @@ use synergy::system::recovery::volatile_copy_payload;
 use synergy::system::{HostAction, HostEvent, ProcessHost, Topology};
 use synergy::Scheme;
 use synergy_des::SimTime;
-use synergy_mdcd::{Event, ProcessRole, RecoveryDecision};
-use synergy_net::threaded::ThreadedNet;
-use synergy_net::{Endpoint, Envelope, ProcessId};
+use synergy_mdcd::{EngineSnapshot, Event, ProcessRole, RecoveryDecision};
+use synergy_net::{Envelope, ProcessId, Transport};
+use synergy_storage::Stable;
 
 use crate::supervisor::SupEvent;
 use crate::tb_runtime::{TbEffect, TbRuntime};
@@ -28,7 +35,7 @@ use crate::{P1ACT, P1SDW};
 /// Everything a node thread can receive on its (single) input channel:
 /// transport deliveries forwarded by its network pump, and control commands.
 #[derive(Debug)]
-pub(crate) enum NodeInput {
+pub enum NodeInput {
     /// An envelope delivered by the transport.
     Net(Envelope),
     /// A control command.
@@ -37,7 +44,7 @@ pub(crate) enum NodeInput {
 
 /// Commands a node thread accepts.
 #[derive(Debug)]
-pub(crate) enum NodeCmd {
+pub enum NodeCmd {
     /// Produce one application message.
     Produce {
         /// Whether the message is external (acceptance-tested).
@@ -51,10 +58,36 @@ pub(crate) enum NodeCmd {
     RetargetActive(ProcessId),
     /// The process is dead (active after takeover).
     Halt,
-    /// Report live status.
+    /// Commanded TB: begin one stable-checkpoint round now. Replies whether
+    /// a stable write is in flight afterwards.
+    BeginCkpt(Sender<bool>),
+    /// Commanded TB: end the round's blocking period and commit. Replies
+    /// with the newest committed epoch.
+    CommitCkpt(Sender<Option<u64>>),
+    /// Global rollback to the newest stable checkpoint at or before the
+    /// epoch line, re-sending saved unacknowledged messages (paper §2.2).
+    Rollback {
+        /// The epoch line (minimum committed epoch across the cluster).
+        epoch: u64,
+        /// Where to report the outcome.
+        reply: Sender<RollbackOutcome>,
+    },
+    /// Report live status. Because commands and deliveries share one FIFO
+    /// channel, a `Status` round-trip doubles as a barrier: everything sent
+    /// to the node before it has been processed once the reply arrives.
     Status(Sender<NodeStatus>),
     /// Stop the thread.
     Shutdown,
+}
+
+/// What a [`NodeCmd::Rollback`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollbackOutcome {
+    /// Epoch of the checkpoint the node restored, or `None` when nothing at
+    /// or before the line was retained (node left untouched).
+    pub restored_epoch: Option<u64>,
+    /// Saved unacknowledged messages re-sent during recovery.
+    pub resent: usize,
 }
 
 /// A live snapshot of one node.
@@ -80,6 +113,13 @@ pub struct NodeStatus {
     pub halted: bool,
     /// Stable checkpoints committed by the TB runtime (0 when disabled).
     pub stable_commits: u64,
+    /// Epoch of the newest committed stable checkpoint, if any.
+    pub stable_epoch: Option<u64>,
+    /// Torn stable writes the store has recorded (including tears detected
+    /// while reloading a durable store after a crash).
+    pub torn_writes: u64,
+    /// Messages currently awaiting acknowledgment.
+    pub unacked: usize,
 }
 
 /// Final per-node accounting.
@@ -101,48 +141,57 @@ pub struct NodeReport {
     pub stable_replacements: u64,
 }
 
-pub(crate) struct NodeRunner {
+/// Forwards transport deliveries for `pid` into the node's input channel so
+/// the run loop has a single blocking receive. The pump thread exits when
+/// either side hangs up (transport torn down or node gone).
+pub fn spawn_net_pump(pid: ProcessId, net_rx: Receiver<Envelope>, input_tx: Sender<NodeInput>) {
+    std::thread::Builder::new()
+        .name(format!("synergy-node-{pid}-net"))
+        .spawn(move || {
+            while let Ok(env) = net_rx.recv() {
+                if input_tx.send(NodeInput::Net(env)).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn net pump thread");
+}
+
+/// The node event loop: one [`ProcessHost`] driven from an input channel
+/// against a real transport.
+pub struct NodeRunner<T: Transport, S: Stable> {
     host: ProcessHost,
-    net: Arc<ThreadedNet>,
+    net: Arc<T>,
     input_rx: Receiver<NodeInput>,
     sup_tx: Sender<SupEvent>,
     started: std::time::Instant,
     halted: bool,
     dead_senders: Vec<ProcessId>,
-    tb: Option<TbRuntime>,
+    tb: Option<TbRuntime<S>>,
+    seed: u64,
 }
 
-impl NodeRunner {
+impl<T: Transport, S: Stable> NodeRunner<T, S> {
+    /// Builds a runner for `pid`. The caller owns endpoint registration and
+    /// the delivery pump (see [`spawn_net_pump`]) as well as the TB
+    /// runtime's mode and backend; restoring a previously persisted
+    /// checkpoint (process restart) happens afterwards via
+    /// [`NodeCmd::Rollback`].
     pub fn new(
         pid: ProcessId,
         seed: u64,
-        net: Arc<ThreadedNet>,
-        input_tx: Sender<NodeInput>,
+        net: Arc<T>,
         input_rx: Receiver<NodeInput>,
         sup_tx: Sender<SupEvent>,
-        tb: Option<synergy_tb::TbConfig>,
+        tb: Option<TbRuntime<S>>,
     ) -> Self {
         let (role, node) = match pid {
             p if p == P1ACT => (ProcessRole::Active, 0),
             p if p == P1SDW => (ProcessRole::Shadow, 1),
             _ => (ProcessRole::Peer, 2),
         };
-        // Pump transport deliveries into the node's input channel so the run
-        // loop has a single blocking receive. The pump thread exits when
-        // either side hangs up (transport torn down or node gone).
-        let net_rx = net.register(Endpoint::Process(pid));
-        std::thread::Builder::new()
-            .name(format!("synergy-node-{pid}-net"))
-            .spawn(move || {
-                while let Ok(env) = net_rx.recv() {
-                    if input_tx.send(NodeInput::Net(env)).is_err() {
-                        break;
-                    }
-                }
-            })
-            .expect("spawn net pump thread");
-        // The TB layer runs wall-clock in TbRuntime, so the host's own
-        // TB slot stays empty; effects come back via engine_event.
+        // The TB layer runs outside the host in TbRuntime, so the host's
+        // own TB slot stays empty; effects come back via engine_event.
         let mut host = ProcessHost::new(
             role,
             pid,
@@ -163,13 +212,16 @@ impl NodeRunner {
             started: std::time::Instant::now(),
             halted: false,
             dead_senders: Vec::new(),
-            tb: tb.map(TbRuntime::new),
+            tb,
+            seed,
         }
     }
 
+    /// Runs the loop until shutdown; returns the final accounting.
     pub fn run(mut self) -> NodeReport {
         loop {
-            // Bound the wait by the next TB deadline so timers fire on time.
+            // Bound the wait by the next TB deadline so wall-clock timers
+            // fire on time (commanded runtimes report no deadline).
             let timeout = self
                 .tb
                 .as_ref()
@@ -207,17 +259,24 @@ impl NodeRunner {
         self.host.current_payload(now)
     }
 
+    fn volatile_payload(&self) -> Option<CheckpointPayload> {
+        self.host
+            .volatile
+            .latest()
+            .map(|c| volatile_copy_payload(c, &self.host.acks, &self.host.recv_log))
+    }
+
     fn tick_tb(&mut self) {
         let Some(mut tb) = self.tb.take() else { return };
         let dirty = self.host.engine.checkpoint_bit();
         let current = self.current_payload();
-        let vol = self
-            .host
-            .volatile
-            .latest()
-            .map(|c| volatile_copy_payload(c, &self.host.acks, &self.host.recv_log));
+        let vol = self.volatile_payload();
         let effects = tb.tick(dirty, &|| current.clone(), &|| vol.clone());
         self.tb = Some(tb);
+        self.apply_tb_effects(effects);
+    }
+
+    fn apply_tb_effects(&mut self, effects: Vec<TbEffect>) {
         let now = self.now();
         for e in effects {
             match e {
@@ -267,6 +326,50 @@ impl NodeRunner {
         self.dead_senders.push(self.host.topology.active);
     }
 
+    /// Hardware-error recovery: restore the node from the stable checkpoint
+    /// the epoch line selects and re-send its saved unacknowledged messages.
+    fn rollback_to_line(&mut self, epoch: u64) -> RollbackOutcome {
+        let Some(mut tb) = self.tb.take() else {
+            return RollbackOutcome {
+                restored_epoch: None,
+                resent: 0,
+            };
+        };
+        let restored = tb.rollback_to(epoch);
+        self.tb = Some(tb);
+        let payload = match restored.as_ref() {
+            Some(ckpt) => match CheckpointPayload::from_checkpoint(ckpt) {
+                Ok(p) => p,
+                Err(_) => {
+                    return RollbackOutcome {
+                        restored_epoch: None,
+                        resent: 0,
+                    }
+                }
+            },
+            // No committed checkpoint at or below the line: the epoch line
+            // is 0 and the mission restarts from the initial state, exactly
+            // as the simulator's hardware recovery does.
+            None => CheckpointPayload::new(
+                CounterApp::new(self.seed ^ 0xA5A5).snapshot(),
+                EngineSnapshot::default(),
+                Vec::new(),
+                Vec::new(),
+                SimTime::ZERO,
+            ),
+        };
+        self.host.restore_from_payload(&payload);
+        let mut resent = 0;
+        for env in self.host.acks.unacked_shared() {
+            self.net.send((*env).clone());
+            resent += 1;
+        }
+        RollbackOutcome {
+            restored_epoch: restored.map(|c| c.seq()),
+            resent,
+        }
+    }
+
     fn on_cmd(&mut self, cmd: NodeCmd) {
         match cmd {
             NodeCmd::Produce { external } => {
@@ -297,6 +400,35 @@ impl NodeRunner {
                 }
             }
             NodeCmd::Halt => self.halted = true,
+            NodeCmd::BeginCkpt(tx) => {
+                if let Some(mut tb) = self.tb.take() {
+                    let dirty = self.host.engine.checkpoint_bit();
+                    let current = self.current_payload();
+                    let vol = self.volatile_payload();
+                    let effects = tb.begin_checkpoint(dirty, &|| current.clone(), &|| vol.clone());
+                    let writing = tb.is_writing();
+                    self.tb = Some(tb);
+                    self.apply_tb_effects(effects);
+                    let _ = tx.send(writing);
+                } else {
+                    let _ = tx.send(false);
+                }
+            }
+            NodeCmd::CommitCkpt(tx) => {
+                if let Some(mut tb) = self.tb.take() {
+                    let effects = tb.commit_checkpoint();
+                    let epoch = tb.latest_epoch();
+                    self.tb = Some(tb);
+                    self.apply_tb_effects(effects);
+                    let _ = tx.send(epoch);
+                } else {
+                    let _ = tx.send(None);
+                }
+            }
+            NodeCmd::Rollback { epoch, reply } => {
+                let outcome = self.rollback_to_line(epoch);
+                let _ = reply.send(outcome);
+            }
             NodeCmd::Status(tx) => {
                 let snap = self.host.engine.snapshot();
                 let _ = tx.send(NodeStatus {
@@ -310,6 +442,9 @@ impl NodeRunner {
                     delivered: self.host.delivered,
                     halted: self.halted,
                     stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
+                    stable_epoch: self.tb.as_ref().and_then(TbRuntime::latest_epoch),
+                    torn_writes: self.tb.as_ref().map_or(0, TbRuntime::torn_writes),
+                    unacked: self.host.acks.len(),
                 });
             }
             NodeCmd::Shutdown => unreachable!("handled by the select loop"),

@@ -16,9 +16,10 @@ use synergy_net::ProcessId;
 use crate::node::{NodeCmd, NodeInput};
 use crate::{P1ACT, P1SDW, P2};
 
-/// Events nodes report to the supervisor.
+/// Events nodes report to the supervisor (or, in the cluster runtime, to
+/// the node host's local event drain).
 #[derive(Debug)]
-pub(crate) enum SupEvent {
+pub enum SupEvent {
     /// An acceptance test failed at `detected_by`.
     SoftwareError {
         /// The detecting process (carried for diagnostics; the recovery

@@ -1,11 +1,25 @@
-//! Real-time adapted-TB checkpointing for the threaded runtime.
+//! Real-time adapted-TB checkpointing for the threaded and cluster
+//! runtimes.
 //!
 //! The paper's concluding remarks plan to "incorporate the
 //! protocol-coordination scheme into the GSU Middleware"; this module does
-//! that for the threaded runtime: each node owns a [`TbEngine`] driven by
-//! wall-clock deadlines, persists coordinated checkpoints into a
-//! [`StableStore`], and bridges the blocking periods into the MDCD engine
-//! exactly like the simulator driver does.
+//! that for the driver runtimes: each node owns a [`TbEngine`], persists
+//! coordinated checkpoints into a [`Stable`] store, and bridges the blocking
+//! periods into the MDCD engine exactly like the simulator driver does.
+//!
+//! Two driving modes share the engine and store plumbing:
+//!
+//! * **Wall-clock** ([`TbRuntime::new`]): deadlines map onto `Instant`s and
+//!   the node loop calls [`tick`](TbRuntime::tick) whenever one is due — the
+//!   threaded middleware's mode, with the in-memory [`StableStore`].
+//! * **Commanded** ([`TbRuntime::commanded`]): an external coordinator (the
+//!   cluster orchestrator) decides when checkpoint rounds begin
+//!   ([`begin_checkpoint`](TbRuntime::begin_checkpoint)) and commit
+//!   ([`commit_checkpoint`](TbRuntime::commit_checkpoint)), which makes a
+//!   distributed mission deterministic enough to compare against a
+//!   simulator run. Deadline bookkeeping stays inside the engine (each
+//!   commanded round is fed as its own timer expiry), and the store is
+//!   typically a durable `DiskStableStore`.
 //!
 //! Wall-clock notes: thread clocks share one time base, so `δ` and `ρ` are
 //! configuration inputs to the blocking-period formula rather than measured
@@ -17,39 +31,63 @@ use std::time::{Duration, Instant};
 
 use synergy::payload::CheckpointPayload;
 use synergy_clocks::LocalTime;
-use synergy_storage::StableStore;
+use synergy_net::CkptSeqNo;
+use synergy_storage::{Checkpoint, Stable, StableStore};
 use synergy_tb::{Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine};
 
-/// Wall-clock TB state for one node.
-pub(crate) struct TbRuntime {
+/// Real-time TB state for one node, over any [`Stable`] backend.
+pub struct TbRuntime<S: Stable = StableStore> {
     engine: TbEngine,
-    stable: StableStore,
+    pub(crate) stable: S,
     epoch: Instant,
     next_timer: Option<Instant>,
     blocking_until: Option<Instant>,
+    commanded: bool,
     commits: u64,
     replacements: u64,
 }
 
-/// What the node loop must do after a TB tick.
-pub(crate) enum TbEffect {
+/// What the node loop must do after a TB transition.
+pub enum TbEffect {
     /// A blocking period started: forward `BlockingStarted` to MDCD.
     BlockingStarted,
     /// A blocking period ended: forward `StableCheckpointCommitted(ndc)`
     /// and `BlockingEnded` to MDCD.
-    Committed(synergy_net::CkptSeqNo),
+    Committed(CkptSeqNo),
 }
 
-impl TbRuntime {
+impl TbRuntime<StableStore> {
+    /// Wall-clock mode over the in-memory store (the threaded middleware's
+    /// configuration).
     pub fn new(config: TbConfig) -> Self {
+        TbRuntime::wall_clock(config, StableStore::new())
+    }
+}
+
+impl<S: Stable> TbRuntime<S> {
+    /// Wall-clock mode over `stable`: deadlines fire via
+    /// [`tick`](Self::tick) as real time passes.
+    pub fn wall_clock(config: TbConfig, stable: S) -> Self {
+        TbRuntime::build(config, stable, false)
+    }
+
+    /// Commanded mode over `stable`: nothing fires on its own; the caller
+    /// drives rounds with [`begin_checkpoint`](Self::begin_checkpoint) and
+    /// [`commit_checkpoint`](Self::commit_checkpoint).
+    pub fn commanded(config: TbConfig, stable: S) -> Self {
+        TbRuntime::build(config, stable, true)
+    }
+
+    fn build(config: TbConfig, stable: S, commanded: bool) -> Self {
         let engine = TbEngine::new(config);
         let epoch = Instant::now();
         let mut rt = TbRuntime {
             engine,
-            stable: StableStore::new(),
+            stable,
             epoch,
             next_timer: None,
             blocking_until: None,
+            commanded,
             commits: 0,
             replacements: 0,
         };
@@ -67,6 +105,9 @@ impl TbRuntime {
     }
 
     fn absorb_schedule(&mut self, actions: Vec<TbAction>) {
+        if self.commanded {
+            return;
+        }
         for a in actions {
             if let TbAction::ScheduleTimer { at } = a {
                 self.next_timer = Some(self.to_instant(at));
@@ -74,7 +115,8 @@ impl TbRuntime {
         }
     }
 
-    /// The next instant the node loop must wake up for, if any.
+    /// The next instant the node loop must wake up for, if any. Always
+    /// `None` in commanded mode.
     pub fn next_deadline(&self) -> Option<Instant> {
         match (self.next_timer, self.blocking_until) {
             (Some(t), Some(b)) => Some(t.min(b)),
@@ -92,9 +134,93 @@ impl TbRuntime {
         self.replacements
     }
 
-    /// Drives due deadlines. `dirty` is the MDCD checkpoint-relevant bit;
-    /// `payload` builds the current-state checkpoint payload on demand;
-    /// `volatile_copy` fetches the most recent volatile checkpoint payload.
+    /// Sequence number (epoch) of the newest committed stable checkpoint.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.stable.latest_seq()
+    }
+
+    /// Torn writes recorded by the store — for a durable backend this
+    /// includes tears detected when reloading after a real crash.
+    pub fn torn_writes(&self) -> u64 {
+        self.stable.stats().torn_writes
+    }
+
+    /// Whether a stable write is currently in flight.
+    pub fn is_writing(&self) -> bool {
+        self.stable.is_writing()
+    }
+
+    /// Runs the engine's timer expiry and executes the resulting store
+    /// actions; shared by the wall-clock and commanded paths.
+    fn fire_timer(
+        &mut self,
+        now_local: LocalTime,
+        dirty: bool,
+        payload: &dyn Fn() -> CheckpointPayload,
+        volatile_copy: &dyn Fn() -> Option<CheckpointPayload>,
+        effects: &mut Vec<TbEffect>,
+    ) {
+        let wall_now = Instant::now();
+        let actions = self
+            .engine
+            .handle(TbEvent::TimerExpired { now_local, dirty });
+        for a in actions {
+            match a {
+                TbAction::BeginStableWrite { contents, .. } => {
+                    let p = match contents {
+                        ContentsChoice::CurrentState => payload(),
+                        ContentsChoice::VolatileCopy => volatile_copy().unwrap_or_else(payload),
+                    };
+                    let seq = self.engine.ndc().0 + 1;
+                    if let Ok(ckpt) = p.into_checkpoint(seq, "stable") {
+                        let _ = self.stable.begin_write(ckpt);
+                    }
+                }
+                TbAction::StartBlocking { duration } => {
+                    if !self.commanded {
+                        self.blocking_until =
+                            Some(wall_now + Duration::from_nanos(duration.as_nanos()));
+                    }
+                    effects.push(TbEffect::BlockingStarted);
+                }
+                TbAction::ScheduleTimer { at } => {
+                    if !self.commanded {
+                        self.next_timer = Some(self.to_instant(at));
+                    }
+                }
+                // Thread clocks share a time base (and the commanded mode's
+                // grid is synthetic); resynchronization is a no-op here.
+                TbAction::RequestResync => {}
+                TbAction::ReplaceWithCurrentState | TbAction::CommitStableWrite { .. } => {}
+            }
+        }
+    }
+
+    /// Ends the blocking period and commits the in-flight write; shared by
+    /// the wall-clock and commanded paths.
+    fn finish_blocking(&mut self, effects: &mut Vec<TbEffect>) {
+        self.blocking_until = None;
+        let actions = self.engine.handle(TbEvent::BlockingElapsed);
+        for a in actions {
+            match a {
+                TbAction::CommitStableWrite { ndc } => {
+                    if self.stable.commit_write().is_ok() {
+                        self.commits += 1;
+                    }
+                    effects.push(TbEffect::Committed(ndc));
+                }
+                TbAction::ScheduleTimer { at } if !self.commanded => {
+                    self.next_timer = Some(self.to_instant(at));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Drives due wall-clock deadlines (no-op in commanded mode). `dirty` is
+    /// the MDCD checkpoint-relevant bit; `payload` builds the current-state
+    /// checkpoint payload on demand; `volatile_copy` fetches the most recent
+    /// volatile checkpoint payload.
     pub fn tick(
         &mut self,
         dirty: bool,
@@ -102,59 +228,76 @@ impl TbRuntime {
         volatile_copy: &dyn Fn() -> Option<CheckpointPayload>,
     ) -> Vec<TbEffect> {
         let mut effects = Vec::new();
+        if self.commanded {
+            return effects;
+        }
         let now = Instant::now();
         if let Some(b) = self.blocking_until {
             if now >= b {
-                self.blocking_until = None;
-                let actions = self.engine.handle(TbEvent::BlockingElapsed);
-                for a in actions {
-                    if let TbAction::CommitStableWrite { ndc } = a {
-                        if self.stable.commit_write().is_ok() {
-                            self.commits += 1;
-                        }
-                        effects.push(TbEffect::Committed(ndc));
-                    }
-                }
+                self.finish_blocking(&mut effects);
             }
         }
         if let Some(t) = self.next_timer {
             if now >= t && self.blocking_until.is_none() {
                 self.next_timer = None;
                 let now_local = self.local_now();
-                let actions = self
-                    .engine
-                    .handle(TbEvent::TimerExpired { now_local, dirty });
-                for a in actions {
-                    match a {
-                        TbAction::BeginStableWrite { contents, .. } => {
-                            let p = match contents {
-                                ContentsChoice::CurrentState => payload(),
-                                ContentsChoice::VolatileCopy => {
-                                    volatile_copy().unwrap_or_else(payload)
-                                }
-                            };
-                            let seq = self.engine.ndc().0 + 1;
-                            if let Ok(ckpt) = p.into_checkpoint(seq, "stable") {
-                                let _ = self.stable.begin_write(ckpt);
-                            }
-                        }
-                        TbAction::StartBlocking { duration } => {
-                            self.blocking_until =
-                                Some(now + Duration::from_nanos(duration.as_nanos()));
-                            effects.push(TbEffect::BlockingStarted);
-                        }
-                        TbAction::ScheduleTimer { at } => {
-                            self.next_timer = Some(self.to_instant(at));
-                        }
-                        // Thread clocks share a time base; resynchronization
-                        // is a no-op here.
-                        TbAction::RequestResync => {}
-                        TbAction::ReplaceWithCurrentState | TbAction::CommitStableWrite { .. } => {}
-                    }
-                }
+                self.fire_timer(now_local, dirty, payload, volatile_copy, &mut effects);
             }
         }
         effects
+    }
+
+    /// Commanded mode: starts one checkpoint round *now*, as if the node's
+    /// timer expired exactly on its deadline grid. Returns the MDCD effects;
+    /// whether a write actually began is visible via
+    /// [`is_writing`](Self::is_writing). Ignored while a round is already
+    /// blocking.
+    pub fn begin_checkpoint(
+        &mut self,
+        dirty: bool,
+        payload: &dyn Fn() -> CheckpointPayload,
+        volatile_copy: &dyn Fn() -> Option<CheckpointPayload>,
+    ) -> Vec<TbEffect> {
+        let mut effects = Vec::new();
+        if self.engine.is_blocking() {
+            return effects;
+        }
+        // Every node is fed its exact grid point, so the whole cluster
+        // agrees on epoch numbering without measuring clocks.
+        let now_local = self.engine.next_deadline();
+        self.fire_timer(now_local, dirty, payload, volatile_copy, &mut effects);
+        effects
+    }
+
+    /// Commanded mode: ends the current round's blocking period and commits
+    /// the in-flight stable write. Ignored when no round is blocking.
+    pub fn commit_checkpoint(&mut self) -> Vec<TbEffect> {
+        let mut effects = Vec::new();
+        if !self.engine.is_blocking() {
+            return effects;
+        }
+        self.finish_blocking(&mut effects);
+        effects
+    }
+
+    /// Global rollback: aborts any in-flight write, selects the newest
+    /// committed checkpoint with sequence number `<= epoch` (the epoch
+    /// line), and restarts the engine from it. Returns the selected
+    /// checkpoint, or `None` when nothing at or before `epoch` is retained —
+    /// in which case the engine still restarts, from sequence number 0.
+    pub fn rollback_to(&mut self, epoch: u64) -> Option<Checkpoint> {
+        self.stable.abort_write();
+        self.blocking_until = None;
+        let ck = self.stable.latest_at_or_before_shared(epoch);
+        let ndc = CkptSeqNo(ck.as_ref().map_or(0, Checkpoint::seq));
+        let now_local = if self.commanded {
+            self.engine.next_deadline()
+        } else {
+            self.local_now()
+        };
+        let actions = self.engine.handle(TbEvent::Restarted { now_local, ndc });
+        self.absorb_schedule(actions);
+        ck
     }
 
     /// The MDCD dirty bit was cleared (a `passed_AT` matched) — possibly
@@ -178,8 +321,8 @@ impl TbRuntime {
     #[allow(dead_code)]
     pub fn latest(&self) -> Option<CheckpointPayload> {
         self.stable
-            .latest()
-            .and_then(|c| CheckpointPayload::from_checkpoint(c).ok())
+            .latest_shared()
+            .and_then(|c| CheckpointPayload::from_checkpoint(&c).ok())
     }
 }
 
@@ -279,5 +422,49 @@ mod tests {
         }
         let latest = rt.latest().expect("committed");
         assert_eq!(latest.app, payload().app, "current state won");
+    }
+
+    #[test]
+    fn commanded_rounds_commit_in_lockstep() {
+        let mut rt = TbRuntime::commanded(config(1000), StableStore::new());
+        assert!(rt.next_deadline().is_none(), "nothing fires on its own");
+        assert!(rt.tick(false, &payload, &|| None).is_empty());
+        for round in 1..=3u64 {
+            let began = rt.begin_checkpoint(false, &payload, &|| None);
+            assert!(began.iter().any(|e| matches!(e, TbEffect::BlockingStarted)));
+            assert!(rt.is_writing());
+            // Re-beginning mid-round is ignored, not an engine panic.
+            assert!(rt.begin_checkpoint(false, &payload, &|| None).is_empty());
+            let committed = rt.commit_checkpoint();
+            assert!(committed
+                .iter()
+                .any(|e| matches!(e, TbEffect::Committed(ndc) if ndc.0 == round)));
+            assert_eq!(rt.latest_epoch(), Some(round));
+        }
+        assert_eq!(rt.commits(), 3);
+        // Committing with no round open is ignored.
+        assert!(rt.commit_checkpoint().is_empty());
+    }
+
+    #[test]
+    fn commanded_rollback_selects_epoch_line_and_restarts() {
+        let mut rt = TbRuntime::commanded(config(1000), StableStore::new());
+        for _ in 0..3 {
+            rt.begin_checkpoint(false, &payload, &|| None);
+            rt.commit_checkpoint();
+        }
+        // A fourth round begins but the node "crashes" before commit.
+        rt.begin_checkpoint(false, &payload, &|| None);
+        assert!(rt.is_writing());
+        let ck = rt.rollback_to(2).expect("epoch 2 retained");
+        assert_eq!(ck.seq(), 2, "newest checkpoint at or before the line");
+        assert!(!rt.is_writing(), "in-flight write aborted by rollback");
+        // The next round continues the sequence from the restored epoch.
+        rt.begin_checkpoint(false, &payload, &|| None);
+        let committed = rt.commit_checkpoint();
+        assert!(committed
+            .iter()
+            .any(|e| matches!(e, TbEffect::Committed(ndc) if ndc.0 == 3)));
+        assert_eq!(rt.rollback_to(0), None, "epoch 0 retains nothing");
     }
 }

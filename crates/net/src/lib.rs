@@ -11,6 +11,10 @@
 //!   crate turns those answers into scheduled events.
 //! * [`threaded::ThreadedNet`]: a channel transport with a delivery thread,
 //!   used by the `synergy-middleware` runtime.
+//! * [`tcp::TcpTransport`]: length-prefixed codec frames over real sockets,
+//!   used by the `synergy-cluster` multi-process runtime. The [`Transport`]
+//!   trait abstracts over the last two so the middleware node loop is
+//!   transport-agnostic.
 //!
 //! The time-based checkpointing protocol only relies on the delay bounds and
 //! on acknowledgment bookkeeping ([`AckTracker`]), which is why a simulated
@@ -24,7 +28,9 @@ mod delay;
 mod fault;
 mod message;
 mod sim;
+pub mod tcp;
 pub mod threaded;
+mod transport;
 
 pub use ack::AckTracker;
 pub use delay::DelayModel;
@@ -33,3 +39,4 @@ pub use message::{
     CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
 };
 pub use sim::{LinkKey, RouteDecision, SimNetwork};
+pub use transport::Transport;

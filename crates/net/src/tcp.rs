@@ -1,0 +1,554 @@
+//! A real TCP transport for the cluster runtime.
+//!
+//! Envelopes travel as length-prefixed [`synergy_codec`] frames over plain
+//! TCP sockets, one long-lived connection per destination address. The
+//! contract is the same as [`SimNetwork`](crate::SimNetwork) and
+//! [`ThreadedNet`](crate::threaded::ThreadedNet): per-link FIFO order
+//! (guaranteed here by a single ordered writer queue per destination riding
+//! a single TCP stream) and silent drops for unregistered destinations — so
+//! the protocol engines cannot tell which transport they are running over.
+//!
+//! Unlike the in-process transports, destinations are *addresses* that can
+//! change: a killed node restarts on a fresh port, and the orchestrator
+//! repairs the survivors' routing tables with [`TcpTransport::set_route`].
+//! Writers reconnect with bounded exponential backoff and re-send the frame
+//! that failed, so a briefly-down peer costs latency, not messages.
+
+use core::fmt;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use synergy_codec::{from_bytes, to_bytes, CodecError};
+
+use crate::message::{Endpoint, Envelope};
+use crate::transport::Transport;
+
+/// Upper bound on one frame's payload; larger length prefixes indicate a
+/// corrupt or hostile stream and poison the connection.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// First reconnect delay; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(10);
+/// Reconnect delay ceiling.
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Errors from the length-prefixed wire framing.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// The frame payload did not decode as an [`Envelope`].
+    Codec(CodecError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds {MAX_FRAME_LEN}")
+            }
+            FrameError::Codec(e) => write!(f, "frame payload decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Oversized(_) => None,
+            FrameError::Codec(e) => Some(e),
+        }
+    }
+}
+
+/// Encodes `envelope` as one wire frame: `payload_len: u32 LE · payload`.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Codec`] if the envelope cannot be serialized and
+/// [`FrameError::Oversized`] if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn frame_envelope(envelope: &Envelope) -> Result<Vec<u8>, FrameError> {
+    let payload = to_bytes(envelope).map_err(FrameError::Codec)?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Incremental frame decoder: TCP hands back arbitrary chunks, this
+/// reassembles them into complete envelopes regardless of where the read
+/// boundaries fall.
+///
+/// # Example
+///
+/// ```rust
+/// use synergy_net::tcp::{frame_envelope, FrameDecoder};
+/// use synergy_net::{Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
+///
+/// let env = Envelope::new(
+///     MsgId { from: ProcessId(1), seq: MsgSeqNo(7) },
+///     ProcessId(2),
+///     MessageBody::External { payload: vec![1, 2, 3] },
+/// );
+/// let frame = frame_envelope(&env)?;
+/// let mut dec = FrameDecoder::new();
+/// dec.push(&frame[..3]); // a torn read mid-length-prefix
+/// assert!(dec.next_envelope()?.is_none());
+/// dec.push(&frame[3..]);
+/// assert_eq!(dec.next_envelope()?, Some(env));
+/// # Ok::<(), synergy_net::tcp::FrameError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends a raw chunk as read from the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Extracts the next complete envelope, or `None` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] when the stream is corrupt (oversized length
+    /// prefix or undecodable payload); the connection should be dropped, as
+    /// resynchronization within a poisoned byte stream is impossible.
+    pub fn next_envelope(&mut self) -> Result<Option<Envelope>, FrameError> {
+        let Some(prefix) = self.buf.get(..4) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(prefix.try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        let Some(payload) = self.buf.get(4..4 + len) else {
+            return Ok(None);
+        };
+        let env = from_bytes(payload).map_err(FrameError::Codec)?;
+        self.buf.drain(..4 + len);
+        Ok(Some(env))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+struct Inner {
+    shutdown: AtomicBool,
+    /// Inbound dispatch: envelopes whose `to` is registered here are handed
+    /// to the endpoint's channel; others are dropped like datagrams to a
+    /// closed port.
+    endpoints: Mutex<HashMap<Endpoint, Sender<Envelope>>>,
+    /// Outbound routing: which address hosts each endpoint right now.
+    routes: Mutex<HashMap<Endpoint, SocketAddr>>,
+    /// One ordered writer queue per destination address.
+    writers: Mutex<HashMap<SocketAddr, Sender<Envelope>>>,
+    /// Accepted inbound streams, tracked so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A TCP envelope transport: one per OS process in the cluster runtime.
+///
+/// Each transport is both a server (it binds a listener and dispatches
+/// inbound envelopes to [`register`](TcpTransport::register)ed endpoints)
+/// and a client (it connects out to the addresses in its routing table).
+pub struct TcpTransport {
+    local: SocketAddr,
+    inner: Arc<Inner>,
+}
+
+impl TcpTransport {
+    /// Binds a listener (use port 0 for an OS-assigned port) and starts the
+    /// accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            shutdown: AtomicBool::new(false),
+            endpoints: Mutex::new(HashMap::new()),
+            routes: Mutex::new(HashMap::new()),
+            writers: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("synergy-tcp-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        inner.threads.lock().expect("threads lock").push(handle);
+        Ok(TcpTransport { local, inner })
+    }
+
+    /// The bound listen address — what peers should `set_route` to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Registers an endpoint hosted by this process and returns its delivery
+    /// channel. Re-registering replaces the previous channel.
+    pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        let (tx, rx) = channel();
+        self.inner
+            .endpoints
+            .lock()
+            .expect("endpoints lock")
+            .insert(endpoint, tx);
+        rx
+    }
+
+    /// Points `endpoint` at `addr` in the outbound routing table, replacing
+    /// any previous mapping — how the orchestrator repairs routes after a
+    /// killed node restarts on a fresh port.
+    pub fn set_route(&self, endpoint: Endpoint, addr: SocketAddr) {
+        self.inner
+            .routes
+            .lock()
+            .expect("routes lock")
+            .insert(endpoint, addr);
+    }
+
+    /// Enqueues `envelope` on the ordered writer queue of its destination's
+    /// current address. Envelopes with no route are dropped silently, like
+    /// sends to an unregistered endpoint on the in-process transports.
+    pub fn send(&self, envelope: Envelope) {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(addr) = self
+            .inner
+            .routes
+            .lock()
+            .expect("routes lock")
+            .get(&envelope.to)
+            .copied()
+        else {
+            return;
+        };
+        let mut writers = self.inner.writers.lock().expect("writers lock");
+        let tx = writers.entry(addr).or_insert_with(|| {
+            let (tx, rx) = channel();
+            let writer_inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("synergy-tcp-writer-{addr}"))
+                .spawn(move || writer_loop(addr, rx, writer_inner))
+                .expect("spawn writer thread");
+            self.inner
+                .threads
+                .lock()
+                .expect("threads lock")
+                .push(handle);
+            tx
+        });
+        let _ = tx.send(envelope);
+    }
+
+    /// Stops all threads and closes all connections; in-flight envelopes are
+    /// dropped. Safe to call more than once; also invoked on drop.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept thread: it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.local);
+        for conn in self.inner.conns.lock().expect("conns lock").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Dropping the writer senders ends each writer's recv loop.
+        self.inner.writers.lock().expect("writers lock").clear();
+        let handles: Vec<_> = self
+            .inner
+            .threads
+            .lock()
+            .expect("threads lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("local", &self.local)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, envelope: Envelope) {
+        TcpTransport::send(self, envelope);
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns.lock().expect("conns lock").push(clone);
+        }
+        let reader_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("synergy-tcp-reader".into())
+            .spawn(move || reader_loop(stream, reader_inner));
+        if let Ok(handle) = handle {
+            inner.threads.lock().expect("threads lock").push(handle);
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, inner: Arc<Inner>) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        dec.push(&buf[..n]);
+        loop {
+            match dec.next_envelope() {
+                Ok(Some(env)) => {
+                    let endpoints = inner.endpoints.lock().expect("endpoints lock");
+                    if let Some(tx) = endpoints.get(&env.to) {
+                        let _ = tx.send(env);
+                    }
+                }
+                Ok(None) => break,
+                // Corrupt stream: no resync is possible, drop the connection
+                // (the peer's writer will reconnect and start a clean one).
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Writes this destination's envelopes in order over one TCP stream,
+/// reconnecting with bounded exponential backoff and re-sending the frame
+/// that failed — a briefly-down peer costs latency, not messages.
+fn writer_loop(addr: SocketAddr, rx: Receiver<Envelope>, inner: Arc<Inner>) {
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = BACKOFF_START;
+    while let Ok(env) = rx.recv() {
+        let Ok(frame) = frame_envelope(&env) else {
+            continue;
+        };
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(s) = stream.as_mut() else {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        backoff = BACKOFF_START;
+                        stream = Some(s);
+                    }
+                    Err(_) => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                    }
+                }
+                continue;
+            };
+            match s.write_all(&frame) {
+                Ok(()) => break,
+                Err(_) => {
+                    stream = None;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{DeviceId, MessageBody, MsgId, MsgSeqNo, ProcessId};
+
+    fn env(to: Endpoint, seq: u64, payload: Vec<u8>) -> Envelope {
+        Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(seq),
+            },
+            to,
+            MessageBody::Application {
+                payload,
+                dirty: false,
+            },
+        )
+    }
+
+    #[test]
+    fn frames_survive_byte_by_byte_delivery() {
+        let e = env(ProcessId(2).into(), 3, vec![1, 2, 3, 4]);
+        let frame = frame_envelope(&e).unwrap();
+        let mut dec = FrameDecoder::new();
+        for b in &frame {
+            assert!(dec.next_envelope().unwrap().is_none());
+            dec.push(std::slice::from_ref(b));
+        }
+        assert_eq!(dec.next_envelope().unwrap(), Some(e));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_poisons_stream() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_le_bytes());
+        assert!(matches!(dec.next_envelope(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_codec_error() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&4u32.to_le_bytes());
+        dec.push(&[0xFF; 4]);
+        assert!(matches!(dec.next_envelope(), Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn two_transports_exchange_fifo_streams() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let p2: Endpoint = ProcessId(2).into();
+        let rx = b.register(p2);
+        a.set_route(p2, b.local_addr());
+        for i in 0..50 {
+            a.send(env(p2, i, vec![i as u8]));
+        }
+        let got: Vec<u64> = (0..50)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(5))
+                    .expect("delivered")
+                    .id
+                    .seq
+                    .0
+            })
+            .collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn unrouted_and_unregistered_sends_are_dropped() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        // No route at all: dropped at the sender.
+        a.send(env(ProcessId(9).into(), 0, vec![]));
+        // Routed but unregistered at the receiver: dropped at dispatch.
+        let d0: Endpoint = DeviceId(0).into();
+        a.set_route(d0, b.local_addr());
+        a.send(env(d0, 1, vec![]));
+        std::thread::sleep(Duration::from_millis(50));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn route_update_redirects_to_a_restarted_peer() {
+        // The orchestrator's restart path: the old peer dies, a replacement
+        // binds a fresh port, survivors' routes are repaired.
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let p2: Endpoint = ProcessId(2).into();
+        let b1 = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let rx1 = b1.register(p2);
+        a.set_route(p2, b1.local_addr());
+        a.send(env(p2, 0, vec![0]));
+        assert_eq!(
+            rx1.recv_timeout(Duration::from_secs(5)).unwrap().id.seq.0,
+            0
+        );
+        b1.shutdown();
+        let b2 = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let rx2 = b2.register(p2);
+        a.set_route(p2, b2.local_addr());
+        a.send(env(p2, 1, vec![1]));
+        assert_eq!(
+            rx2.recv_timeout(Duration::from_secs(5)).unwrap().id.seq.0,
+            1
+        );
+        a.shutdown();
+        b2.shutdown();
+    }
+
+    #[test]
+    fn writer_backs_off_until_the_peer_appears() {
+        // Reserve a port, drop the listener, route to it, and send: the
+        // writer must keep retrying with backoff until a listener exists.
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let p2: Endpoint = ProcessId(2).into();
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        a.set_route(p2, addr);
+        a.send(env(p2, 7, vec![7]));
+        std::thread::sleep(Duration::from_millis(60)); // a few failed attempts
+        let late = TcpListener::bind(addr).expect("port still free");
+        let (mut conn, _) = late.accept().expect("writer reconnects");
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let got = loop {
+            let n = conn.read(&mut buf).expect("frame arrives");
+            dec.push(&buf[..n]);
+            if let Some(env) = dec.next_envelope().unwrap() {
+                break env;
+            }
+        };
+        assert_eq!(got.id.seq.0, 7, "the failed frame is re-sent, not lost");
+        a.shutdown();
+    }
+}

@@ -186,8 +186,14 @@ fn delivery_loop(shared: Arc<Shared>) {
             return;
         }
         let now = Instant::now();
-        // Deliver everything due.
+        // Deliver everything due. The shutdown flag is re-checked inside the
+        // drain: `shutdown()` can set it while this thread holds the lock for
+        // a long backlog (or right after a `wait_timeout` wakeup), and
+        // nothing may be delivered once the flag is observable.
         while let Some(Reverse(p)) = state.heap.peek() {
+            if shared.shutdown.load(AtomicOrdering::SeqCst) {
+                return;
+            }
             if p.at > now {
                 break;
             }
@@ -267,6 +273,46 @@ mod tests {
         let net = ThreadedNet::new(Duration::from_micros(1)..Duration::from_micros(2), 0);
         net.shutdown();
         net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_pending_heap_delivers_nothing_after_flag() {
+        // Deliveries still 50 ms out when shutdown() sets the flag: the
+        // delivery thread must exit without draining them — no panic, no
+        // late deliveries.
+        let net = ThreadedNet::new(Duration::from_millis(50)..Duration::from_millis(60), 7);
+        let rx = net.register(ProcessId(2).into());
+        for i in 0..100 {
+            net.send(env(i, i as u8));
+        }
+        net.shutdown();
+        // The worker has joined; wait past the scheduled delivery instants
+        // and confirm none of the pending envelopes leaked out.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            rx.try_recv().is_err(),
+            "no delivery may happen after the shutdown flag is set"
+        );
+    }
+
+    #[test]
+    fn shutdown_racing_due_deliveries_is_clean() {
+        // Messages fall due immediately while shutdown() races the drain
+        // loop: whatever was delivered happened before the flag, the rest is
+        // dropped, and join never panics.
+        for round in 0..20 {
+            let net = ThreadedNet::new(Duration::ZERO..Duration::from_micros(50), round);
+            let rx = net.register(ProcessId(2).into());
+            for i in 0..50 {
+                net.send(env(i, i as u8));
+            }
+            net.shutdown();
+            let delivered = rx.try_iter().count();
+            assert!(delivered <= 50);
+            // After shutdown() returns the delivery thread is joined: the
+            // channel must be closed with nothing further in flight.
+            assert!(rx.recv_timeout(Duration::from_millis(20)).is_err());
+        }
     }
 
     #[test]

@@ -18,12 +18,14 @@ pub mod codec;
 
 mod checkpoint;
 mod crc;
+mod disk;
 mod latency;
 mod stable;
 mod volatile;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use crc::crc32;
+pub use disk::DiskStableStore;
 pub use latency::DiskModel;
-pub use stable::{StableStats, StableStore, StableWriteError};
+pub use stable::{Stable, StableStats, StableStore, StableWriteError};
 pub use volatile::VolatileStore;

@@ -5,13 +5,16 @@ use core::fmt;
 use crate::checkpoint::Checkpoint;
 
 /// Errors from stable-store write sequencing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StableWriteError {
     /// `begin_write` was called while another write was in progress.
     WriteAlreadyInProgress,
     /// `replace_in_progress` or `commit_write` was called with no write in
     /// progress.
     NoWriteInProgress,
+    /// A durable backend failed at the operating-system level (disk full,
+    /// permission, device error). In-memory stores never return this.
+    Io(String),
 }
 
 impl fmt::Display for StableWriteError {
@@ -21,11 +24,117 @@ impl fmt::Display for StableWriteError {
                 write!(f, "a stable write is already in progress")
             }
             StableWriteError::NoWriteInProgress => write!(f, "no stable write in progress"),
+            StableWriteError::Io(e) => write!(f, "stable storage i/o error: {e}"),
         }
     }
 }
 
 impl std::error::Error for StableWriteError {}
+
+/// The stable-storage contract shared by the in-memory [`StableStore`] (the
+/// simulator's model) and the durable
+/// [`DiskStableStore`](crate::DiskStableStore) (the cluster runtime's
+/// backend).
+///
+/// Both preserve the adapted TB protocol's write semantics: a two-phase
+/// `begin` → (`replace`)* → `commit` sequence whose in-flight contents are
+/// lost — *torn* — if the node crashes before the commit, while previously
+/// committed checkpoints survive. Recovery addresses committed history by
+/// epoch ([`latest_at_or_before_shared`](Stable::latest_at_or_before_shared))
+/// because the global rollback line is the minimum epoch committed by every
+/// live process.
+pub trait Stable {
+    /// Begins a two-phase write of `checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::WriteAlreadyInProgress`] if a previous
+    /// write was neither committed nor aborted, or
+    /// [`StableWriteError::Io`] if a durable backend fails.
+    fn begin_write(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError>;
+
+    /// Aborts the in-flight contents and restarts the write with
+    /// `checkpoint` (the `write_disk` third-argument semantics of the
+    /// adapted TB algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::NoWriteInProgress`] if nothing is being
+    /// written, or [`StableWriteError::Io`] if a durable backend fails.
+    fn replace_in_progress(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError>;
+
+    /// Atomically publishes the in-flight write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::NoWriteInProgress`] if nothing is being
+    /// written, or [`StableWriteError::Io`] if a durable backend fails.
+    fn commit_write(&mut self) -> Result<(), StableWriteError>;
+
+    /// Abandons an in-flight write without committing it; returns whether a
+    /// write was abandoned. Not counted as a torn write.
+    fn abort_write(&mut self) -> bool;
+
+    /// Simulates a node crash: committed checkpoints survive, any in-flight
+    /// write is torn.
+    fn crash(&mut self);
+
+    /// Whether a write is currently in progress.
+    fn is_writing(&self) -> bool;
+
+    /// A shared handle to the most recent committed checkpoint.
+    fn latest_shared(&self) -> Option<Checkpoint>;
+
+    /// Sequence number (epoch) of the most recent committed checkpoint.
+    fn latest_seq(&self) -> Option<u64> {
+        self.latest_shared().map(|c| c.seq())
+    }
+
+    /// The newest committed checkpoint with sequence number `<= seq` — the
+    /// record global recovery selects when rolling back to the epoch line.
+    fn latest_at_or_before_shared(&self, seq: u64) -> Option<Checkpoint>;
+
+    /// Write statistics.
+    fn stats(&self) -> StableStats;
+}
+
+impl Stable for StableStore {
+    fn begin_write(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        StableStore::begin_write(self, checkpoint)
+    }
+
+    fn replace_in_progress(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        StableStore::replace_in_progress(self, checkpoint)
+    }
+
+    fn commit_write(&mut self) -> Result<(), StableWriteError> {
+        StableStore::commit_write(self).map(|_| ())
+    }
+
+    fn abort_write(&mut self) -> bool {
+        StableStore::abort_write(self)
+    }
+
+    fn crash(&mut self) {
+        StableStore::crash(self);
+    }
+
+    fn is_writing(&self) -> bool {
+        StableStore::is_writing(self)
+    }
+
+    fn latest_shared(&self) -> Option<Checkpoint> {
+        StableStore::latest_shared(self)
+    }
+
+    fn latest_at_or_before_shared(&self, seq: u64) -> Option<Checkpoint> {
+        self.latest_at_or_before(seq).cloned()
+    }
+
+    fn stats(&self) -> StableStats {
+        StableStore::stats(self)
+    }
+}
 
 /// Statistics kept by a [`StableStore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -20,7 +20,12 @@ case "$JSON" in
     *) JSON="$PWD/$JSON" ;;
 esac
 
+# Stamp the run with the current commit so re-benching the same revision
+# replaces its record instead of stacking duplicates.
+GIT_REV="${BENCH_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+
 BENCH_LABEL="$LABEL" BENCH_SAMPLES="$SAMPLES" BENCH_JSON="$JSON" \
+    BENCH_GIT_REV="$GIT_REV" \
     cargo bench -q --bench missions
 
 echo "OK: run '$LABEL' ($SAMPLES samples) recorded in $JSON"
