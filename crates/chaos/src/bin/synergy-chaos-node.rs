@@ -1,10 +1,7 @@
-//! One cluster node process; spawned by the `synergy-cluster` orchestrator.
-//!
-//! ```text
-//! synergy-node --pid <1|2|3> --seed <u64> --data-dir <path> \
-//!              --ctrl <host:port> [--tb-interval-ms <u64>] \
-//!              [--chaos-link <hex>] [--chaos-disk <hex>]
-//! ```
+//! The node process the chaos runner spawns: the same node runtime as
+//! `synergy-node`, rebuilt inside this package so integration tests (and a
+//! standalone install of `synergy-chaos`) have a node binary of their own
+//! next to the runner executable.
 
 use std::process::ExitCode;
 
@@ -14,14 +11,14 @@ fn main() -> ExitCode {
     let opts = match NodeOpts::from_args(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("synergy-node: {e}");
+            eprintln!("synergy-chaos-node: {e}");
             return ExitCode::FAILURE;
         }
     };
     match run_node(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("synergy-node (pid {}): {e}", opts.pid);
+            eprintln!("synergy-chaos-node (pid {}): {e}", opts.pid);
             ExitCode::FAILURE
         }
     }

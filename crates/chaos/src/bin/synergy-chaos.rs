@@ -1,0 +1,219 @@
+//! The fault-campaign runner: generates deterministic campaigns from a
+//! base seed, runs each against a live three-process cluster, verifies the
+//! device stream byte-for-byte against a simulator reference, and shrinks
+//! the first failure to the smallest fault cocktail that reproduces it.
+//!
+//! ```text
+//! synergy-chaos [--seeds <n>] [--base-seed <u64>] [--jobs <n>]
+//!               [--data-root <path>] [--node-bin <path>]
+//!               [--no-link] [--no-disk] [--no-crash] [--no-bitrot]
+//! ```
+//!
+//! Exit status is nonzero iff any campaign diverged or aborted. There is
+//! no hang mode: every orchestrator interaction is deadline-bounded, so a
+//! stuck campaign surfaces as a structured abort in the table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use synergy_chaos::{
+    run_campaign, shrink_failure, CampaignOutcome, CampaignResult, CampaignSpec, CampaignToggles,
+};
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    jobs: usize,
+    data_root: PathBuf,
+    node_bin: Option<PathBuf>,
+    toggles: CampaignToggles,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        seeds: 8,
+        base_seed: 1,
+        jobs: 4,
+        data_root: std::env::temp_dir().join(format!("synergy-chaos-{}", std::process::id())),
+        node_bin: None,
+        toggles: CampaignToggles::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seeds" => out.seeds = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--base-seed" => out.base_seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => {
+                out.jobs = value()?.parse().map_err(|e| format!("{e}"))?;
+                if out.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--data-root" => out.data_root = PathBuf::from(value()?),
+            "--node-bin" => out.node_bin = Some(PathBuf::from(value()?)),
+            "--no-link" => out.toggles.link = false,
+            "--no-disk" => out.toggles.disk = false,
+            "--no-crash" => out.toggles.crash = false,
+            "--no-bitrot" => out.toggles.bitrot = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+/// The node binary: an explicit `--node-bin`, else a sibling of this
+/// executable — `synergy-node` from a full workspace build, falling back
+/// to this package's own `synergy-chaos-node`.
+fn node_bin(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(p) = explicit {
+        return p
+            .exists()
+            .then_some(p.clone())
+            .ok_or_else(|| format!("--node-bin {} does not exist", p.display()));
+    }
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    for name in ["synergy-node", "synergy-chaos-node"] {
+        let sibling = me.with_file_name(name);
+        if sibling.exists() {
+            return Ok(sibling);
+        }
+    }
+    Err(format!(
+        "no node binary (synergy-node or synergy-chaos-node) next to {}",
+        me.display()
+    ))
+}
+
+fn outcome_cell(outcome: &CampaignOutcome) -> String {
+    match outcome {
+        CampaignOutcome::Converged => "converged".to_string(),
+        CampaignOutcome::Diverged {
+            cluster_len,
+            sim_len,
+            first_diff,
+        } => match first_diff {
+            Some(i) => format!("DIVERGED at payload {i} ({cluster_len} vs {sim_len})"),
+            None => format!("DIVERGED on length ({cluster_len} vs {sim_len})"),
+        },
+        CampaignOutcome::Aborted { reason } => format!("ABORTED: {reason}"),
+    }
+}
+
+fn print_result(index: u64, r: &CampaignResult) {
+    let faults = r
+        .faults
+        .as_ref()
+        .map(|f| {
+            format!(
+                "drops={} dups={} lost={} retries={} torn={} corrupt={} rollbacks={:?}",
+                f.chaos_drops,
+                f.chaos_dups,
+                f.chaos_lost,
+                f.stable_retries,
+                f.torn_writes,
+                f.corrupt_records,
+                f.rollback_epochs
+            )
+        })
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "campaign {index:>3}  seed {:<6} steps {}  [{}]  {:<9}  {}  ({} ms)",
+        r.spec.seed,
+        r.spec.steps,
+        r.spec.cocktail(),
+        if r.outcome.is_converged() {
+            "converged"
+        } else {
+            "FAILED"
+        },
+        faults,
+        r.wall.as_millis()
+    );
+    if !r.outcome.is_converged() {
+        println!("             -> {}", outcome_cell(&r.outcome));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("synergy-chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node_bin = match node_bin(args.node_bin.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("synergy-chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.data_root) {
+        eprintln!("synergy-chaos: create {}: {e}", args.data_root.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sweep: {} campaigns from base seed {}, {} jobs, node binary {}",
+        args.seeds,
+        args.base_seed,
+        args.jobs,
+        node_bin.display()
+    );
+
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, CampaignResult)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs.min(args.seeds.max(1) as usize) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= args.seeds {
+                    break;
+                }
+                let spec = CampaignSpec::generate(args.base_seed, index, args.toggles);
+                let result = run_campaign(&spec, &node_bin, &args.data_root);
+                print_result(index, &result);
+                results.lock().expect("results lock").push((index, result));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("results lock");
+    results.sort_by_key(|(index, _)| *index);
+
+    let converged = results
+        .iter()
+        .filter(|(_, r)| r.outcome.is_converged())
+        .count();
+    println!(
+        "\nsweep summary: {converged}/{} campaigns converged (device streams byte-identical \
+         to the simulator reference)",
+        results.len()
+    );
+
+    let first_failure = results.iter().find(|(_, r)| !r.outcome.is_converged());
+    if let Some((index, failed)) = first_failure {
+        println!(
+            "\nfirst divergent seed: {} (campaign {index}); shrinking the fault cocktail…",
+            failed.spec.seed
+        );
+        let (minimal, outcome) =
+            shrink_failure(&failed.spec, &failed.outcome, &node_bin, &args.data_root);
+        println!(
+            "minimal failing spec: seed {} steps {} [{}]",
+            minimal.seed,
+            minimal.steps,
+            minimal.cocktail()
+        );
+        println!("minimal outcome: {}", outcome_cell(&outcome));
+        println!(
+            "node state kept under {} for autopsy",
+            args.data_root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let _ = std::fs::remove_dir_all(&args.data_root);
+    ExitCode::SUCCESS
+}

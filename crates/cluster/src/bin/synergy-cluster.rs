@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use synergy::NodeId;
-use synergy_cluster::{simulate_reference, Cluster, ClusterConfig, KillPlan};
+use synergy_cluster::{simulate_reference, Cluster, ClusterConfig, CrashEvent, CrashKind};
 
 const TB_INTERVAL_SECS: f64 = 1.7;
 
@@ -81,14 +81,18 @@ fn main() -> ExitCode {
             .map(|k| format!(", SIGKILL {victim} in round {k}"))
             .unwrap_or_default()
     );
-    let cfg = ClusterConfig {
-        seed: args.seed,
-        steps: args.steps,
-        tb_interval_secs: TB_INTERVAL_SECS,
-        kill: args.kill_epoch.map(|epoch| KillPlan { victim, epoch }),
+    let mut cfg = ClusterConfig::new(
+        args.seed,
+        args.steps,
+        TB_INTERVAL_SECS,
         node_bin,
-        data_root: args.data_dir.clone(),
-    };
+        args.data_dir.clone(),
+    );
+    cfg.crashes.extend(args.kill_epoch.map(|epoch| CrashEvent {
+        victim,
+        epoch,
+        kind: CrashKind::MidRound,
+    }));
     let report = match Cluster::launch(cfg).and_then(Cluster::run) {
         Ok(r) => r,
         Err(e) => {
@@ -97,7 +101,7 @@ fn main() -> ExitCode {
         }
     };
     println!("device stream: {} messages", report.device_payloads.len());
-    if let Some(kill) = &report.kill {
+    for kill in &report.kills {
         println!(
             "kill round {}: staged write torn = {}, victim recovered epoch {:?} \
              ({} torn write detected), global rollback to line {}",

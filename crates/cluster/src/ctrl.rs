@@ -68,6 +68,10 @@ pub enum CtrlReply {
         /// in-flight temp file from a write the previous incarnation never
         /// committed.
         torn_writes: u64,
+        /// Committed records rejected by CRC verification while reloading
+        /// (read-back bit-rot); the store fell back to the previous
+        /// checkpoint for each.
+        corrupt_records: u64,
     },
     /// Command processed; nothing to report.
     Done,
@@ -113,6 +117,19 @@ pub struct WireStatus {
     pub promoted: bool,
     /// Suppressed messages logged (shadow only).
     pub logged: u64,
+    /// Envelopes still queued inside the node's chaos transport wrapper
+    /// (zero when the chaos layer is drained or inert).
+    pub net_queued: u64,
+    /// Attempt-level drops injected by the chaos wire so far.
+    pub chaos_drops: u64,
+    /// Ack frames duplicated by the chaos wire so far.
+    pub chaos_dups: u64,
+    /// Frames the chaos link layer gave up on (attempt budget exhausted).
+    pub chaos_lost: u64,
+    /// Retry attempts against a transiently failing stable backend.
+    pub stable_retries: u64,
+    /// Committed records rejected by CRC verification on reload (bit-rot).
+    pub corrupt_records: u64,
 }
 
 synergy_codec::codec_struct!(WireStatus {
@@ -124,6 +141,12 @@ synergy_codec::codec_struct!(WireStatus {
     unacked,
     promoted,
     logged,
+    net_queued,
+    chaos_drops,
+    chaos_dups,
+    chaos_lost,
+    stable_retries,
+    corrupt_records,
 });
 
 impl Codec for CtrlMsg {
@@ -178,12 +201,14 @@ impl Codec for CtrlReply {
                 data_port,
                 epoch,
                 torn_writes,
+                corrupt_records,
             } => {
                 0u32.encode(out);
                 pid.encode(out);
                 data_port.encode(out);
                 epoch.encode(out);
                 torn_writes.encode(out);
+                corrupt_records.encode(out);
             }
             CtrlReply::Done => 1u32.encode(out),
             CtrlReply::Began { writing } => {
@@ -216,6 +241,7 @@ impl Codec for CtrlReply {
                 data_port: u16::decode(r)?,
                 epoch: Option::<u64>::decode(r)?,
                 torn_writes: u64::decode(r)?,
+                corrupt_records: u64::decode(r)?,
             }),
             1 => Ok(CtrlReply::Done),
             2 => Ok(CtrlReply::Began {
@@ -301,6 +327,7 @@ mod tests {
             data_port: 61234,
             epoch: Some(4),
             torn_writes: 1,
+            corrupt_records: 1,
         });
         roundtrip(CtrlReply::Done);
         roundtrip(CtrlReply::Began { writing: true });
@@ -318,6 +345,12 @@ mod tests {
             unacked: 0,
             promoted: false,
             logged: 2,
+            net_queued: 0,
+            chaos_drops: 7,
+            chaos_dups: 1,
+            chaos_lost: 0,
+            stable_retries: 2,
+            corrupt_records: 0,
         }));
     }
 

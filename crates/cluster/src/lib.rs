@@ -36,6 +36,9 @@ pub mod orchestrator;
 pub mod verify;
 
 pub use ctrl::{CtrlMsg, CtrlReply, WireStatus};
-pub use node::{run_node, NodeOpts};
-pub use orchestrator::{Cluster, ClusterConfig, ClusterReport, KillPlan, KillReport};
-pub use verify::{simulate_reference, SimReference};
+pub use node::{plan_from_hex, plan_to_hex, run_node, NodeOpts};
+pub use orchestrator::{
+    Cluster, ClusterConfig, ClusterError, ClusterReport, ClusterTimeouts, CrashEvent, CrashKind,
+    KillReport,
+};
+pub use verify::{simulate_reference, simulate_reference_schedule, SimReference};

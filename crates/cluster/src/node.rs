@@ -6,14 +6,23 @@
 //!
 //! 1. Open (or recover) the [`DiskStableStore`] in the node's data
 //!    directory. A leftover in-flight temp file from a killed incarnation
-//!    is detected here as a torn write; committed records are CRC-verified.
-//! 2. Bind the [`TcpTransport`] on an ephemeral port and start the node
-//!    event loop with a *commanded* [`TbRuntime`] — checkpoint rounds are
-//!    driven by the orchestrator, not by wall-clock timers, which keeps a
-//!    distributed mission deterministic.
+//!    is detected here as a torn write; committed records are CRC-verified,
+//!    and any record rejected by its CRC (bit-rot) is skipped in favour of
+//!    the previous checkpoint. The store is then wrapped in a
+//!    [`FaultyStable`] applying the campaign's disk-fault plan.
+//! 2. Bind the [`TcpTransport`] on an ephemeral port, wrap it in a
+//!    [`FaultyTransport`] applying the campaign's link-fault plan, and
+//!    start the node event loop with a *commanded* [`TbRuntime`] —
+//!    checkpoint rounds are driven by the orchestrator, not by wall-clock
+//!    timers, which keeps a distributed mission deterministic.
 //! 3. Connect back to the orchestrator, announce
 //!    [`Hello`](CtrlReply::Hello) (data port + recovered epoch + torn-write
-//!    count), then serve control commands in lockstep.
+//!    and corrupt-record counts), then serve control commands in lockstep.
+//!
+//! Both fault plans default to inert, in which case the wrappers are
+//! zero-overhead passthroughs; the orchestrator ships non-trivial plans as
+//! hex-encoded codec values on the command line (`--chaos-link`,
+//! `--chaos-disk`).
 //!
 //! A restarted node does **not** restore itself: per the paper's global
 //! rollback, the *orchestrator* computes the epoch line across the cluster
@@ -27,11 +36,12 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
 use synergy_clocks::SyncParams;
+use synergy_codec::Codec;
 use synergy_des::SimDuration;
 use synergy_middleware::{spawn_net_pump, NodeCmd, NodeInput, NodeStatus, SupEvent, TbRuntime};
 use synergy_net::tcp::TcpTransport;
-use synergy_net::{Endpoint, ProcessId};
-use synergy_storage::{DiskStableStore, Stable};
+use synergy_net::{Endpoint, FaultyTransport, LinkFaultPlan, ProcessId};
+use synergy_storage::{DiskFaultPlan, DiskStableStore, FaultyStable, Stable};
 use synergy_tb::{TbConfig, TbVariant};
 
 use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
@@ -50,6 +60,78 @@ pub struct NodeOpts {
     /// TB checkpoint interval in milliseconds (grid spacing for epoch
     /// bookkeeping; rounds themselves are commanded).
     pub tb_interval_ms: u64,
+    /// Link-fault plan applied to this node's outbound data plane.
+    pub link_plan: LinkFaultPlan,
+    /// Stable-storage fault plan applied to this node's disk store.
+    pub disk_plan: DiskFaultPlan,
+}
+
+/// Encodes a codec value as lowercase hex for command-line transport.
+pub fn plan_to_hex<T: Codec>(value: &T) -> String {
+    let bytes = synergy_codec::to_bytes(value).expect("fault plans always encode");
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex-encoded codec value shipped on the command line.
+///
+/// # Errors
+///
+/// Malformed hex or a codec decode failure.
+pub fn plan_from_hex<T: Codec>(hex: &str) -> Result<T, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("odd-length hex plan".into());
+    }
+    let bytes: Vec<u8> = (0..hex.len() / 2)
+        .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad hex plan: {e}"))?;
+    synergy_codec::from_bytes(&bytes).map_err(|e| format!("bad plan encoding: {e}"))
+}
+
+impl NodeOpts {
+    /// Parses node options from `argv` (without the program name); shared
+    /// by `synergy-node` and the chaos crate's node wrapper binary.
+    ///
+    /// # Errors
+    ///
+    /// Unknown flags, missing values, or malformed plan encodings.
+    pub fn from_args<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+        let mut pid = None;
+        let mut seed = None;
+        let mut data_dir = None;
+        let mut ctrl_addr = None;
+        let mut tb_interval_ms = 1700u64;
+        let mut link_plan = LinkFaultPlan::default();
+        let mut disk_plan = DiskFaultPlan::default();
+        while let Some(flag) = args.next() {
+            let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match flag.as_str() {
+                "--pid" => pid = Some(value()?.parse::<u32>().map_err(|e| e.to_string())?),
+                "--seed" => seed = Some(value()?.parse::<u64>().map_err(|e| e.to_string())?),
+                "--data-dir" => data_dir = Some(PathBuf::from(value()?)),
+                "--ctrl" => ctrl_addr = Some(value()?),
+                "--tb-interval-ms" => {
+                    tb_interval_ms = value()?.parse::<u64>().map_err(|e| e.to_string())?;
+                }
+                "--chaos-link" => link_plan = plan_from_hex(&value()?)?,
+                "--chaos-disk" => disk_plan = plan_from_hex(&value()?)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(NodeOpts {
+            pid: pid.ok_or("--pid is required")?,
+            seed: seed.ok_or("--seed is required")?,
+            data_dir: data_dir.ok_or("--data-dir is required")?,
+            ctrl_addr: ctrl_addr.ok_or("--ctrl is required")?,
+            tb_interval_ms,
+            link_plan,
+            disk_plan,
+        })
+    }
 }
 
 fn tb_config(interval_ms: u64) -> TbConfig {
@@ -87,12 +169,21 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
     let store = DiskStableStore::open(&opts.data_dir)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let recovered_epoch = store.latest_seq();
-    let recovered_torn = store.stats().torn_writes;
+    let reload_stats = store.stats();
+    let recovered_torn = reload_stats.torn_writes;
+    // Bit-rot is only ever observed at reload time, so the count is fixed
+    // for the lifetime of this incarnation.
+    let recovered_corrupt = reload_stats.corrupt_records;
+    let store = FaultyStable::new(store, opts.disk_plan.clone());
 
-    let net = Arc::new(TcpTransport::bind("127.0.0.1:0")?);
-    let data_port = net.local_addr().port();
+    let raw_net = Arc::new(TcpTransport::bind("127.0.0.1:0")?);
+    let data_port = raw_net.local_addr().port();
     let pid = ProcessId(opts.pid);
-    let net_rx = net.register(Endpoint::Process(pid));
+    let net_rx = raw_net.register(Endpoint::Process(pid));
+    let net = Arc::new(FaultyTransport::new(
+        Arc::clone(&raw_net),
+        opts.link_plan.clone(),
+    ));
     let (input_tx, input_rx) = channel::<NodeInput>();
     spawn_net_pump(pid, net_rx, input_tx.clone());
 
@@ -123,6 +214,7 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
             data_port,
             epoch: recovered_epoch,
             torn_writes: recovered_torn,
+            corrupt_records: recovered_corrupt,
         },
     )?;
 
@@ -141,7 +233,7 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
                 let addr = addr.parse().map_err(|e| {
                     io::Error::new(io::ErrorKind::InvalidData, format!("bad route addr: {e}"))
                 })?;
-                net.set_route(endpoint, addr);
+                raw_net.set_route(endpoint, addr);
                 CtrlReply::Done
             }
             CtrlMsg::BeginCkpt => {
@@ -173,6 +265,7 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
             }
             CtrlMsg::Status => {
                 let s = status_barrier(&input_tx)?;
+                let totals = net.totals();
                 CtrlReply::Status(WireStatus {
                     dirty: s.dirty,
                     delivered: s.delivered,
@@ -182,6 +275,12 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
                     unacked: s.unacked as u64,
                     promoted: s.promoted,
                     logged: s.logged as u64,
+                    net_queued: net.pending(),
+                    chaos_drops: totals.drops,
+                    chaos_dups: totals.dups,
+                    chaos_lost: totals.lost,
+                    stable_retries: s.stable_retries,
+                    corrupt_records: recovered_corrupt,
                 })
             }
             CtrlMsg::Shutdown => {
@@ -195,5 +294,68 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
     drop(input_tx);
     let _ = runner_join.join();
     net.shutdown();
+    raw_net.shutdown();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_net::{LinkFaults, PartitionWindow};
+    use synergy_storage::{DiskFault, DiskOp};
+
+    #[test]
+    fn plans_roundtrip_through_hex_argv_encoding() {
+        let link = LinkFaultPlan {
+            faults: LinkFaults::new(0.125, 0.25),
+            delay_ms: (1, 9),
+            partitions: vec![PartitionWindow {
+                start_ms: 200,
+                end_ms: 450,
+            }],
+            max_attempts: 12,
+            retry_ms: (2, 40),
+            seed: 77,
+        };
+        let disk = DiskFaultPlan {
+            faults: vec![DiskFault {
+                seq: 3,
+                op: DiskOp::Commit,
+                times: 1,
+            }],
+        };
+        let link_back: LinkFaultPlan = plan_from_hex(&plan_to_hex(&link)).unwrap();
+        let disk_back: DiskFaultPlan = plan_from_hex(&plan_to_hex(&disk)).unwrap();
+        assert_eq!(link_back, link);
+        assert_eq!(disk_back, disk);
+    }
+
+    #[test]
+    fn node_opts_parse_chaos_flags() {
+        let link = LinkFaultPlan {
+            faults: LinkFaults::new(0.1, 0.0),
+            ..LinkFaultPlan::inert(9)
+        };
+        let argv = [
+            "--pid",
+            "2",
+            "--seed",
+            "41",
+            "--data-dir",
+            "/tmp/x",
+            "--ctrl",
+            "127.0.0.1:9",
+            "--chaos-link",
+            &plan_to_hex(&link),
+        ];
+        let opts = NodeOpts::from_args(argv.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.pid, 2);
+        assert_eq!(opts.link_plan, link);
+        assert!(opts.disk_plan.is_inert());
+        assert!(NodeOpts::from_args(["--pid".to_string()].into_iter()).is_err());
+        assert!(
+            NodeOpts::from_args(["--chaos-link".to_string(), "zz".to_string()].into_iter())
+                .is_err()
+        );
+    }
 }

@@ -8,7 +8,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use synergy::NodeId;
-use synergy_cluster::{simulate_reference, Cluster, ClusterConfig, KillPlan};
+use synergy_cluster::{
+    simulate_reference, simulate_reference_schedule, Cluster, ClusterConfig, CrashEvent, CrashKind,
+};
 
 const TB_INTERVAL_SECS: f64 = 1.7;
 
@@ -23,16 +25,16 @@ fn unique_dir(label: &str) -> PathBuf {
     dir
 }
 
-fn launch(seed: u64, steps: u32, kill: Option<KillPlan>, data_root: &Path) -> Cluster {
-    Cluster::launch(ClusterConfig {
+fn launch(seed: u64, steps: u32, crash: Option<CrashEvent>, data_root: &Path) -> Cluster {
+    let mut cfg = ClusterConfig::new(
         seed,
         steps,
-        tb_interval_secs: TB_INTERVAL_SECS,
-        kill,
-        node_bin: PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
-        data_root: data_root.to_path_buf(),
-    })
-    .expect("cluster launches")
+        TB_INTERVAL_SECS,
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.to_path_buf(),
+    );
+    cfg.crashes.extend(crash);
+    Cluster::launch(cfg).expect("cluster launches")
 }
 
 #[test]
@@ -69,15 +71,16 @@ fn sigkill_mission_recovers_from_disk_and_matches_the_simulator() {
     let report = launch(
         seed,
         steps,
-        Some(KillPlan {
+        Some(CrashEvent {
             victim,
             epoch: kill_epoch,
+            kind: CrashKind::MidRound,
         }),
         &data_root,
     )
     .run()
     .expect("mission completes despite the kill");
-    let kill = report.kill.as_ref().expect("kill executed");
+    let kill = report.kills.first().expect("kill executed");
 
     // The kill tore a staged write: the victim confirmed an in-flight
     // stable write before SIGKILL, and its restarted incarnation found the
@@ -98,6 +101,7 @@ fn sigkill_mission_recovers_from_disk_and_matches_the_simulator() {
     // Global rollback: survivors committed the torn epoch, the victim did
     // not, so the epoch line is k−1 and every process restores it.
     assert_eq!(kill.line, kill_epoch - 1);
+    assert_eq!(kill.rollback_epochs, 1, "one grid epoch lost to the tear");
     assert_eq!(kill.rollbacks.len(), 3);
     for (pid, restored, resent) in &kill.rollbacks {
         assert_eq!(
@@ -123,13 +127,70 @@ fn sigkill_mission_recovers_from_disk_and_matches_the_simulator() {
     // Rollback distance: losing the torn epoch costs one grid interval
     // plus the restart delay in the simulator's clock; the cluster's
     // epoch-line arithmetic must agree.
-    let cluster_distance = (kill_epoch - kill.line) as f64 * TB_INTERVAL_SECS + 0.3;
+    let cluster_distance = (kill_epoch - kill.line) as f64 * TB_INTERVAL_SECS + 0.12;
     let sim_distance = reference.mean_rollback_secs.expect("sim rolled back");
     assert!(
         (sim_distance - cluster_distance).abs() < 0.25,
         "rollback distance: sim {sim_distance:.3}s vs cluster {cluster_distance:.3}s"
     );
 
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn acked_internal_traffic_mission_survives_a_kill_and_matches_the_simulator() {
+    // Internal P1 → P2 produces put acked application traffic on the wire;
+    // the kill, restart, and rollback must still leave the device stream
+    // byte-identical to the reference, and the acks must fully drain by
+    // mission end.
+    let seed = 11;
+    let steps = 8;
+    let kill_epoch = 3;
+    let victim = NodeId::P2;
+    let data_root = unique_dir("acked");
+
+    let mut cfg = ClusterConfig::new(
+        seed,
+        steps,
+        TB_INTERVAL_SECS,
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.to_path_buf(),
+    );
+    cfg.internal_traffic = true;
+    cfg.crashes.push(CrashEvent {
+        victim,
+        epoch: kill_epoch,
+        kind: CrashKind::MidRound,
+    });
+    let report = Cluster::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("mission completes despite the kill");
+
+    let crashes = [CrashEvent {
+        victim,
+        epoch: kill_epoch,
+        kind: CrashKind::MidRound,
+    }];
+    let reference = simulate_reference_schedule(seed, steps, TB_INTERVAL_SECS, true, &crashes);
+    assert!(reference.verdicts_hold);
+    assert_eq!(reference.torn_writes, 1);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "cluster and simulator device streams must be identical"
+    );
+    for (pid, status) in &report.final_status {
+        assert_eq!(status.unacked, 0, "pid {pid}: acks drained by mission end");
+    }
+    // The traffic existed: the active delivered P2's acks, P2 delivered the
+    // internal messages.
+    let p2 = report
+        .final_status
+        .iter()
+        .find(|(pid, _)| *pid == 3)
+        .map(|(_, s)| s)
+        .expect("P2 status present");
+    assert!(p2.delivered > 0, "P2 delivered internal messages");
     let _ = std::fs::remove_dir_all(&data_root);
 }
 
@@ -144,10 +205,19 @@ fn first_round_kill_rolls_every_node_back_to_the_initial_state() {
     let victim = NodeId::P2;
     let data_root = unique_dir("line0");
 
-    let report = launch(seed, steps, Some(KillPlan { victim, epoch: 1 }), &data_root)
-        .run()
-        .expect("mission completes despite the round-1 kill");
-    let kill = report.kill.as_ref().expect("kill executed");
+    let report = launch(
+        seed,
+        steps,
+        Some(CrashEvent {
+            victim,
+            epoch: 1,
+            kind: CrashKind::MidRound,
+        }),
+        &data_root,
+    )
+    .run()
+    .expect("mission completes despite the round-1 kill");
+    let kill = report.kills.first().expect("kill executed");
 
     assert!(kill.victim_began_writing);
     assert_eq!(kill.reload_epoch, None, "nothing committed before the kill");

@@ -1,0 +1,109 @@
+//! Regression tests for the hardened orchestrator: faulted clusters must
+//! end in *structured*, attributed errors within the configured timeouts —
+//! never a hang.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use synergy::NodeId;
+use synergy_cluster::{Cluster, ClusterConfig, ClusterError};
+
+fn unique_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "synergy-hardening-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create data root");
+    dir
+}
+
+fn config(node_bin: PathBuf, data_root: PathBuf) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(3, 4, 1.7, node_bin, data_root);
+    cfg.timeouts.hello = Duration::from_secs(10);
+    cfg.timeouts.ctrl = Duration::from_secs(10);
+    cfg
+}
+
+/// A node that dies before sending `Hello` must surface as a structured
+/// `NodeDied` error naming the expected pid — detected by the accept
+/// loop's child polling, far inside the hello timeout.
+#[cfg(unix)]
+#[test]
+fn node_dead_before_hello_fails_fast_and_structured() {
+    use std::os::unix::fs::PermissionsExt;
+
+    let data_root = unique_dir("dead-before-hello");
+    let script = data_root.join("dead-node.sh");
+    std::fs::write(&script, "#!/bin/sh\nexit 7\n").expect("write stub node");
+    let mut perms = std::fs::metadata(&script).expect("stat stub").permissions();
+    perms.set_mode(0o755);
+    std::fs::set_permissions(&script, perms).expect("chmod stub");
+
+    let cfg = config(script, data_root.clone());
+    let hello_timeout = cfg.timeouts.hello;
+    let started = Instant::now();
+    let err = match Cluster::launch(cfg) {
+        Err(e) => e,
+        Ok(_) => panic!("launch must fail when the node exits before Hello"),
+    };
+    let elapsed = started.elapsed();
+    match &err {
+        ClusterError::NodeDied { pid, detail } => {
+            assert_eq!(*pid, 1, "the first spawned node is attributed");
+            assert!(
+                detail.contains("before sending Hello"),
+                "detail explains the phase: {detail}"
+            );
+        }
+        other => panic!("expected NodeDied, got {other:?}"),
+    }
+    assert!(
+        elapsed < hello_timeout,
+        "early death must be detected by child polling ({elapsed:?}), \
+         not by waiting out the {hello_timeout:?} hello timeout"
+    );
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+/// Killing a live node and then issuing a command must produce a
+/// structured error attributed to that node's pid — the dropped control
+/// connection is detected within the control timeout, and the dead
+/// process is distinguished from a wedged one.
+#[test]
+fn control_drop_mid_command_is_attributed_within_timeout() {
+    let data_root = unique_dir("ctrl-drop");
+    let cfg = config(
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.clone(),
+    );
+    let ctrl_timeout = cfg.timeouts.ctrl;
+    let mut cluster = Cluster::launch(cfg).expect("cluster launches");
+
+    cluster.kill_node(NodeId::P2).expect("kill the victim");
+    let started = Instant::now();
+    let err = match cluster.status_all() {
+        Err(e) => e,
+        Ok(s) => panic!("status sweep must fail after the kill, got {s:?}"),
+    };
+    let elapsed = started.elapsed();
+    match &err {
+        ClusterError::NodeDied { pid, .. } => {
+            assert_eq!(*pid, 3, "failure names the killed node");
+        }
+        other => panic!("expected NodeDied for pid 3, got {other:?}"),
+    }
+    assert!(
+        elapsed <= ctrl_timeout + Duration::from_secs(2),
+        "failure must land within the control timeout, took {elapsed:?}"
+    );
+
+    // Dead-node detection also catches it without any command round-trip.
+    match cluster.ensure_alive() {
+        Err(ClusterError::NodeDied { pid, .. }) => assert_eq!(pid, 3),
+        other => panic!("expected NodeDied from ensure_alive, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&data_root);
+}

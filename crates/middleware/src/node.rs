@@ -118,6 +118,8 @@ pub struct NodeStatus {
     /// Torn stable writes the store has recorded (including tears detected
     /// while reloading a durable store after a crash).
     pub torn_writes: u64,
+    /// Retry attempts against a transiently failing stable backend.
+    pub stable_retries: u64,
     /// Messages currently awaiting acknowledgment.
     pub unacked: usize,
 }
@@ -271,9 +273,30 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
         let dirty = self.host.engine.checkpoint_bit();
         let current = self.current_payload();
         let vol = self.volatile_payload();
-        let effects = tb.tick(dirty, &|| current.clone(), &|| vol.clone());
+        let mut effects = tb.tick(dirty, &|| current.clone(), &|| vol.clone());
+        if tb.stable_pending() {
+            effects.extend(tb.retry_stable());
+        }
         self.tb = Some(tb);
         self.apply_tb_effects(effects);
+    }
+
+    /// Retries failed stable operations a bounded number of times — the
+    /// flaky-disk masking loop. A backend that keeps failing past the budget
+    /// leaves the runtime pending; the orchestrator sees the lag via
+    /// `stable_epoch` and aborts the campaign rather than hanging.
+    fn retry_stable_bounded(tb: &mut TbRuntime<S>) -> Vec<TbEffect> {
+        const STABLE_RETRY_BUDGET: u32 = 8;
+        let mut effects = Vec::new();
+        let mut attempts = 0;
+        while tb.stable_pending() && attempts < STABLE_RETRY_BUDGET {
+            effects.extend(tb.retry_stable());
+            attempts += 1;
+            if tb.stable_pending() {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        effects
     }
 
     fn apply_tb_effects(&mut self, effects: Vec<TbEffect>) {
@@ -405,7 +428,11 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
                     let dirty = self.host.engine.checkpoint_bit();
                     let current = self.current_payload();
                     let vol = self.volatile_payload();
-                    let effects = tb.begin_checkpoint(dirty, &|| current.clone(), &|| vol.clone());
+                    let mut effects =
+                        tb.begin_checkpoint(dirty, &|| current.clone(), &|| vol.clone());
+                    if tb.stable_pending() {
+                        effects.extend(Self::retry_stable_bounded(&mut tb));
+                    }
                     let writing = tb.is_writing();
                     self.tb = Some(tb);
                     self.apply_tb_effects(effects);
@@ -416,7 +443,10 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
             }
             NodeCmd::CommitCkpt(tx) => {
                 if let Some(mut tb) = self.tb.take() {
-                    let effects = tb.commit_checkpoint();
+                    let mut effects = tb.commit_checkpoint();
+                    if tb.stable_pending() {
+                        effects.extend(Self::retry_stable_bounded(&mut tb));
+                    }
                     let epoch = tb.latest_epoch();
                     self.tb = Some(tb);
                     self.apply_tb_effects(effects);
@@ -444,6 +474,7 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
                     stable_commits: self.tb.as_ref().map_or(0, TbRuntime::commits),
                     stable_epoch: self.tb.as_ref().and_then(TbRuntime::latest_epoch),
                     torn_writes: self.tb.as_ref().map_or(0, TbRuntime::torn_writes),
+                    stable_retries: self.tb.as_ref().map_or(0, TbRuntime::stable_retries),
                     unacked: self.host.acks.len(),
                 });
             }

@@ -45,6 +45,22 @@ pub struct TbRuntime<S: Stable = StableStore> {
     commanded: bool,
     commits: u64,
     replacements: u64,
+    /// Stable operations that failed (transient I/O) and await retry, in
+    /// order. The engine's view (ndc, blocking state) advances when its
+    /// actions are handed out, so a failed store operation must eventually
+    /// succeed for disk and engine to agree again; [`retry_stable`]
+    /// (driven by the node loop) is how it does.
+    pending: Vec<PendingStable>,
+    stable_retries: u64,
+}
+
+/// A stable-store operation waiting to be retried.
+enum PendingStable {
+    /// `begin_write` failed; retry with this checkpoint.
+    Begin(Checkpoint),
+    /// `commit_write` failed; the in-flight write (or, if the begin is also
+    /// pending, the checkpoint queued before this) still needs committing.
+    Commit(CkptSeqNo),
 }
 
 /// What the node loop must do after a TB transition.
@@ -90,6 +106,8 @@ impl<S: Stable> TbRuntime<S> {
             commanded,
             commits: 0,
             replacements: 0,
+            pending: Vec::new(),
+            stable_retries: 0,
         };
         let actions = rt.engine.start();
         rt.absorb_schedule(actions);
@@ -150,6 +168,45 @@ impl<S: Stable> TbRuntime<S> {
         self.stable.is_writing()
     }
 
+    /// Whether any stable operation failed and awaits retry.
+    pub fn stable_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Retry attempts performed against a failing backend so far.
+    pub fn stable_retries(&self) -> u64 {
+        self.stable_retries
+    }
+
+    /// Retries queued stable operations in order, stopping at the first
+    /// operation that fails again. Returns the MDCD effects of any commit
+    /// that succeeded on retry.
+    pub fn retry_stable(&mut self) -> Vec<TbEffect> {
+        let mut effects = Vec::new();
+        while !self.pending.is_empty() {
+            self.stable_retries += 1;
+            match &self.pending[0] {
+                PendingStable::Begin(ckpt) => {
+                    let ckpt = ckpt.clone();
+                    if self.stable.begin_write(ckpt).is_err() {
+                        break;
+                    }
+                    self.pending.remove(0);
+                }
+                PendingStable::Commit(ndc) => {
+                    let ndc = *ndc;
+                    if self.stable.commit_write().is_err() {
+                        break;
+                    }
+                    self.commits += 1;
+                    effects.push(TbEffect::Committed(ndc));
+                    self.pending.remove(0);
+                }
+            }
+        }
+        effects
+    }
+
     /// Runs the engine's timer expiry and executes the resulting store
     /// actions; shared by the wall-clock and commanded paths.
     fn fire_timer(
@@ -173,7 +230,12 @@ impl<S: Stable> TbRuntime<S> {
                     };
                     let seq = self.engine.ndc().0 + 1;
                     if let Ok(ckpt) = p.into_checkpoint(seq, "stable") {
-                        let _ = self.stable.begin_write(ckpt);
+                        // A transient backend failure (injected fsync fault,
+                        // flaky disk) must not be swallowed: queue the write
+                        // for retry so disk catches up with the engine.
+                        if self.stable.begin_write(ckpt.clone()).is_err() {
+                            self.pending.push(PendingStable::Begin(ckpt));
+                        }
                     }
                 }
                 TbAction::StartBlocking { duration } => {
@@ -204,10 +266,18 @@ impl<S: Stable> TbRuntime<S> {
         for a in actions {
             match a {
                 TbAction::CommitStableWrite { ndc } => {
-                    if self.stable.commit_write().is_ok() {
+                    // The Committed effect is what tells MDCD the epoch is
+                    // durable; emitting it for a failed commit would let the
+                    // engine's epoch run ahead of the disk. Defer it to a
+                    // successful retry instead.
+                    if !self.pending.is_empty() {
+                        self.pending.push(PendingStable::Commit(ndc));
+                    } else if self.stable.commit_write().is_ok() {
                         self.commits += 1;
+                        effects.push(TbEffect::Committed(ndc));
+                    } else {
+                        self.pending.push(PendingStable::Commit(ndc));
                     }
-                    effects.push(TbEffect::Committed(ndc));
                 }
                 TbAction::ScheduleTimer { at } if !self.commanded => {
                     self.next_timer = Some(self.to_instant(at));
@@ -287,6 +357,8 @@ impl<S: Stable> TbRuntime<S> {
     /// in which case the engine still restarts, from sequence number 0.
     pub fn rollback_to(&mut self, epoch: u64) -> Option<Checkpoint> {
         self.stable.abort_write();
+        // Global recovery supersedes whatever write was pending retry.
+        self.pending.clear();
         self.blocking_until = None;
         let ck = self.stable.latest_at_or_before_shared(epoch);
         let ndc = CkptSeqNo(ck.as_ref().map_or(0, Checkpoint::seq));
@@ -308,7 +380,13 @@ impl<S: Stable> TbRuntime<S> {
             if let TbAction::ReplaceWithCurrentState = a {
                 let seq = self.engine.ndc().0 + 1;
                 if let Ok(ckpt) = payload().into_checkpoint(seq, "stable-replaced") {
-                    if self.stable.replace_in_progress(ckpt).is_ok() {
+                    // If the round's begin itself is awaiting retry there is
+                    // no in-flight write to replace; swap the queued
+                    // contents instead so the retry writes the fresh state.
+                    if let Some(PendingStable::Begin(queued)) = self.pending.first_mut() {
+                        *queued = ckpt;
+                        self.replacements += 1;
+                    } else if self.stable.replace_in_progress(ckpt).is_ok() {
                         self.replacements += 1;
                     }
                 }
@@ -444,6 +522,74 @@ mod tests {
         assert_eq!(rt.commits(), 3);
         // Committing with no round open is ignored.
         assert!(rt.commit_checkpoint().is_empty());
+    }
+
+    #[test]
+    fn injected_stable_faults_are_retried_not_swallowed() {
+        use synergy_storage::{DiskFault, DiskFaultPlan, DiskOp, FaultyStable};
+        let plan = DiskFaultPlan {
+            faults: vec![
+                DiskFault {
+                    seq: 1,
+                    op: DiskOp::Begin,
+                    times: 1,
+                },
+                DiskFault {
+                    seq: 2,
+                    op: DiskOp::Commit,
+                    times: 1,
+                },
+            ],
+        };
+        let mut rt =
+            TbRuntime::commanded(config(1000), FaultyStable::new(StableStore::new(), plan));
+        // Round 1: the begin fails; a retry lands it before the commit.
+        rt.begin_checkpoint(false, &payload, &|| None);
+        assert!(!rt.is_writing(), "failed begin left nothing in flight");
+        assert!(rt.stable_pending());
+        assert!(rt.retry_stable().is_empty(), "begin retry emits no effects");
+        assert!(rt.is_writing());
+        let committed = rt.commit_checkpoint();
+        assert!(committed
+            .iter()
+            .any(|e| matches!(e, TbEffect::Committed(ndc) if ndc.0 == 1)));
+        // Round 2: the commit fails; the Committed effect must be deferred
+        // to the successful retry, never emitted for a write that is not
+        // durable.
+        rt.begin_checkpoint(false, &payload, &|| None);
+        let committed = rt.commit_checkpoint();
+        assert!(committed.is_empty(), "no Committed effect while disk lags");
+        assert!(rt.stable_pending());
+        let retried = rt.retry_stable();
+        assert!(retried
+            .iter()
+            .any(|e| matches!(e, TbEffect::Committed(ndc) if ndc.0 == 2)));
+        assert!(!rt.stable_pending());
+        assert_eq!(rt.latest_epoch(), Some(2));
+        assert_eq!(rt.commits(), 2);
+        assert!(rt.stable_retries() >= 2);
+    }
+
+    #[test]
+    fn rollback_discards_pending_stable_operations() {
+        use synergy_storage::{DiskFault, DiskFaultPlan, DiskOp, FaultyStable};
+        let plan = DiskFaultPlan {
+            faults: vec![DiskFault {
+                seq: 2,
+                op: DiskOp::Begin,
+                times: 99,
+            }],
+        };
+        let mut rt =
+            TbRuntime::commanded(config(1000), FaultyStable::new(StableStore::new(), plan));
+        rt.begin_checkpoint(false, &payload, &|| None);
+        rt.commit_checkpoint();
+        // Epoch 2's begin fails persistently; global recovery supersedes it.
+        rt.begin_checkpoint(false, &payload, &|| None);
+        assert!(rt.stable_pending());
+        let ck = rt.rollback_to(1).expect("epoch 1 retained");
+        assert_eq!(ck.seq(), 1);
+        assert!(!rt.stable_pending(), "rollback clears the retry queue");
     }
 
     #[test]

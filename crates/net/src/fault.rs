@@ -1,5 +1,21 @@
 //! Link-level fault injection.
+//!
+//! Two layers share this module:
+//!
+//! * [`LinkFaults`] — per-message loss/duplication probabilities, consumed
+//!   by the simulator's `SimNetwork` routing model.
+//! * [`LinkFaultPlan`] — a full deterministic fault schedule for a *live*
+//!   transport ([`FaultyTransport`](crate::FaultyTransport)): the same
+//!   probabilities plus bounded delays, timed link partitions, and the
+//!   retransmission policy that masks the injected loss. The plan is
+//!   [`Codec`]-serializable so a cluster orchestrator can ship it to node
+//!   processes on the command line.
+//!
+//! Keeping both in one module is deliberate: the simulator and the cluster
+//! draw from the same fault vocabulary, exactly as `NodeId`/`FaultPlan`
+//! already do for crashes.
 
+use synergy_codec::codec_struct;
 use synergy_des::DetRng;
 
 /// Probabilistic message loss and duplication on a link.
@@ -59,6 +75,109 @@ impl Default for LinkFaults {
     }
 }
 
+codec_struct!(LinkFaults {
+    drop_prob,
+    dup_prob
+});
+
+/// A timed link outage, expressed as milliseconds since the faulty
+/// transport was created. While a window is open every route holds its
+/// traffic; held frames flush in order when the window closes, so a
+/// partition manifests as delay, never as reordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Window start, milliseconds after transport creation.
+    pub start_ms: u64,
+    /// Window end (exclusive), milliseconds after transport creation.
+    pub end_ms: u64,
+}
+
+impl PartitionWindow {
+    /// Whether the window is open at `elapsed_ms` since transport creation.
+    pub fn contains(&self, elapsed_ms: u64) -> bool {
+        (self.start_ms..self.end_ms).contains(&elapsed_ms)
+    }
+}
+
+codec_struct!(PartitionWindow { start_ms, end_ms });
+
+/// Deterministic fault schedule for a live transport.
+///
+/// The plan describes a *lossy wire underneath a retransmitting link
+/// layer*: rolled drops are retried with bounded backoff up to
+/// [`max_attempts`](Self::max_attempts), so injected loss is masked into
+/// extra latency unless the retry budget is exhausted (which the wrapper
+/// reports rather than hides). Duplication applies only to idempotent ack
+/// frames — see `FaultyTransport` for why application frames must never
+/// be duplicated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFaultPlan {
+    /// Per-attempt drop probability and per-delivery ack-dup probability.
+    pub faults: LinkFaults,
+    /// Uniform extra delay per envelope, `[min_ms, max_ms]`.
+    pub delay_ms: (u64, u64),
+    /// Timed link outages (all routes hold, then flush in order).
+    pub partitions: Vec<PartitionWindow>,
+    /// Send attempts per envelope before the frame is declared lost.
+    pub max_attempts: u32,
+    /// Retransmit backoff `(start_ms, cap_ms)`, doubling per attempt.
+    pub retry_ms: (u64, u64),
+    /// Seed for the per-route deterministic RNG streams.
+    pub seed: u64,
+}
+
+impl LinkFaultPlan {
+    /// A plan that injects nothing; the wrapper becomes a passthrough.
+    pub fn inert(seed: u64) -> Self {
+        LinkFaultPlan {
+            faults: LinkFaults::NONE,
+            delay_ms: (0, 0),
+            partitions: Vec::new(),
+            max_attempts: 1,
+            retry_ms: (1, 1),
+            seed,
+        }
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_inert(&self) -> bool {
+        self.faults == LinkFaults::NONE && self.delay_ms == (0, 0) && self.partitions.is_empty()
+    }
+
+    /// Validates ranges that the injector relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty attempt budget or inverted delay bounds.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+        assert!(
+            self.delay_ms.0 <= self.delay_ms.1,
+            "inverted delay bounds {:?}",
+            self.delay_ms
+        );
+        assert!(self.retry_ms.0 >= 1, "retry start must be nonzero");
+        for w in &self.partitions {
+            assert!(w.start_ms < w.end_ms, "empty partition window {w:?}");
+        }
+    }
+}
+
+impl Default for LinkFaultPlan {
+    fn default() -> Self {
+        LinkFaultPlan::inert(0)
+    }
+}
+
+codec_struct!(LinkFaultPlan {
+    faults,
+    delay_ms,
+    partitions,
+    max_attempts,
+    retry_ms,
+    seed,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +212,67 @@ mod tests {
     #[should_panic(expected = "invalid drop_prob")]
     fn invalid_probability_rejected() {
         LinkFaults::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn partition_window_is_half_open() {
+        let w = PartitionWindow {
+            start_ms: 100,
+            end_ms: 200,
+        };
+        assert!(!w.contains(99));
+        assert!(w.contains(100));
+        assert!(w.contains(199));
+        assert!(!w.contains(200));
+    }
+
+    #[test]
+    fn inert_plan_detects_every_fault_knob() {
+        let mut plan = LinkFaultPlan::inert(7);
+        assert!(plan.is_inert());
+        plan.faults = LinkFaults::new(0.1, 0.0);
+        assert!(!plan.is_inert());
+        plan = LinkFaultPlan::inert(7);
+        plan.delay_ms = (0, 5);
+        assert!(!plan.is_inert());
+        plan = LinkFaultPlan::inert(7);
+        plan.partitions.push(PartitionWindow {
+            start_ms: 0,
+            end_ms: 1,
+        });
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_codec() {
+        let plan = LinkFaultPlan {
+            faults: LinkFaults::new(0.125, 0.5),
+            delay_ms: (2, 17),
+            partitions: vec![
+                PartitionWindow {
+                    start_ms: 300,
+                    end_ms: 900,
+                },
+                PartitionWindow {
+                    start_ms: 1500,
+                    end_ms: 1600,
+                },
+            ],
+            max_attempts: 16,
+            retry_ms: (4, 60),
+            seed: 0xDEAD_BEEF,
+        };
+        plan.validate();
+        let bytes = synergy_codec::to_bytes(&plan).expect("encode");
+        let back: LinkFaultPlan = synergy_codec::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempt_budget_rejected() {
+        let mut plan = LinkFaultPlan::inert(0);
+        plan.max_attempts = 0;
+        plan.validate();
     }
 }

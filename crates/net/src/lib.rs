@@ -26,6 +26,7 @@
 mod ack;
 mod delay;
 mod fault;
+mod faulty;
 mod message;
 mod sim;
 pub mod tcp;
@@ -34,7 +35,8 @@ mod transport;
 
 pub use ack::AckTracker;
 pub use delay::DelayModel;
-pub use fault::LinkFaults;
+pub use fault::{LinkFaultPlan, LinkFaults, PartitionWindow};
+pub use faulty::{FaultTotals, FaultyTransport, LostFrame};
 pub use message::{
     CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
 };

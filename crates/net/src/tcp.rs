@@ -25,6 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use synergy_codec::{from_bytes, to_bytes, CodecError};
+use synergy_des::DetRng;
 
 use crate::message::{Endpoint, Envelope};
 use crate::transport::Transport;
@@ -33,10 +34,64 @@ use crate::transport::Transport;
 /// corrupt or hostile stream and poison the connection.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// First reconnect delay; doubles per attempt up to [`BACKOFF_CAP`].
-const BACKOFF_START: Duration = Duration::from_millis(10);
-/// Reconnect delay ceiling.
-const BACKOFF_CAP: Duration = Duration::from_millis(500);
+/// How a writer thread behaves when its destination is unreachable.
+///
+/// Reconnect delay starts at [`backoff_start`](Self::backoff_start),
+/// doubles per consecutive failure up to [`backoff_cap`](Self::backoff_cap),
+/// and each sleep is scaled by a deterministic ±25% jitter (seeded per
+/// destination from [`jitter_seed`](Self::jitter_seed)) so a cluster of
+/// writers reconnecting to a restarted node does not thunder in lockstep.
+/// After [`max_attempts`](Self::max_attempts) consecutive failures the
+/// route is declared dead: the in-flight frame and everything queued behind
+/// it are counted and surfaced via [`TcpTransport::gave_up_routes`], and
+/// later sends to that address are dropped (and counted) until
+/// [`TcpTransport::set_route`] revives it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_start: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Consecutive failed connect/write attempts before a destination is
+    /// declared dead; `None` retries forever (the pre-policy behaviour).
+    pub max_attempts: Option<u32>,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl ReconnectPolicy {
+    fn exhausted(&self, failures: u32) -> bool {
+        self.max_attempts.is_some_and(|cap| failures >= cap)
+    }
+
+    fn jittered(&self, base: Duration, rng: &mut DetRng) -> Duration {
+        // ±25%, quantized to whole percent so the sleep stays exact math.
+        base * rng.gen_range(75..=125u64) as u32 / 100
+    }
+}
+
+impl Default for ReconnectPolicy {
+    /// 10 ms → 500 ms backoff and a 64-attempt budget (≈30 s of retries):
+    /// generous enough to ride out any orchestrated node restart, bounded
+    /// enough that a permanently dead peer cannot pin a writer forever.
+    fn default() -> Self {
+        ReconnectPolicy {
+            backoff_start: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            max_attempts: Some(64),
+            jitter_seed: 0x5359_4E45, // "SYNE"
+        }
+    }
+}
+
+/// A destination some writer gave up on, with the frames dropped since.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaveUpRoute {
+    /// The unreachable destination address.
+    pub addr: SocketAddr,
+    /// Frames dropped on this route since the writer gave up.
+    pub dropped: u64,
+}
 
 /// Errors from the length-prefixed wire framing.
 #[derive(Debug)]
@@ -155,6 +210,10 @@ impl FrameDecoder {
 
 struct Inner {
     shutdown: AtomicBool,
+    policy: ReconnectPolicy,
+    /// Destinations whose writer exhausted its attempt budget, with the
+    /// count of frames dropped since. `set_route` to an address revives it.
+    dead: Mutex<HashMap<SocketAddr, u64>>,
     /// Inbound dispatch: envelopes whose `to` is registered here are handed
     /// to the endpoint's channel; others are dropped like datagrams to a
     /// closed port.
@@ -186,10 +245,24 @@ impl TcpTransport {
     ///
     /// Returns the underlying I/O error if the address cannot be bound.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        TcpTransport::bind_with(addr, ReconnectPolicy::default())
+    }
+
+    /// [`bind`](TcpTransport::bind) with an explicit [`ReconnectPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        policy: ReconnectPolicy,
+    ) -> std::io::Result<TcpTransport> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
             shutdown: AtomicBool::new(false),
+            policy,
+            dead: Mutex::new(HashMap::new()),
             endpoints: Mutex::new(HashMap::new()),
             routes: Mutex::new(HashMap::new()),
             writers: Mutex::new(HashMap::new()),
@@ -223,13 +296,46 @@ impl TcpTransport {
 
     /// Points `endpoint` at `addr` in the outbound routing table, replacing
     /// any previous mapping — how the orchestrator repairs routes after a
-    /// killed node restarts on a fresh port.
+    /// killed node restarts on a fresh port. Setting a route revives a
+    /// gave-up address: its dead-route record is cleared and the next send
+    /// spawns a fresh writer.
     pub fn set_route(&self, endpoint: Endpoint, addr: SocketAddr) {
+        if self
+            .inner
+            .dead
+            .lock()
+            .expect("dead lock")
+            .remove(&addr)
+            .is_some()
+        {
+            // The old writer exited after giving up; dropping its sender
+            // lets the next send spawn a replacement.
+            self.inner
+                .writers
+                .lock()
+                .expect("writers lock")
+                .remove(&addr);
+        }
         self.inner
             .routes
             .lock()
             .expect("routes lock")
             .insert(endpoint, addr);
+    }
+
+    /// Destinations whose writers exhausted the reconnect budget, and how
+    /// many frames each has dropped since. Empty under a healthy cluster.
+    pub fn gave_up_routes(&self) -> Vec<GaveUpRoute> {
+        let mut routes: Vec<GaveUpRoute> = self
+            .inner
+            .dead
+            .lock()
+            .expect("dead lock")
+            .iter()
+            .map(|(&addr, &dropped)| GaveUpRoute { addr, dropped })
+            .collect();
+        routes.sort_by_key(|r| r.addr);
+        routes
     }
 
     /// Enqueues `envelope` on the ordered writer queue of its destination's
@@ -249,6 +355,13 @@ impl TcpTransport {
         else {
             return;
         };
+        {
+            let mut dead = self.inner.dead.lock().expect("dead lock");
+            if let Some(dropped) = dead.get_mut(&addr) {
+                *dropped += 1;
+                return;
+            }
+        }
         let mut writers = self.inner.writers.lock().expect("writers lock");
         let tx = writers.entry(addr).or_insert_with(|| {
             let (tx, rx) = channel();
@@ -371,11 +484,17 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<Inner>) {
 }
 
 /// Writes this destination's envelopes in order over one TCP stream,
-/// reconnecting with bounded exponential backoff and re-sending the frame
-/// that failed — a briefly-down peer costs latency, not messages.
+/// reconnecting per the transport's [`ReconnectPolicy`] and re-sending the
+/// frame that failed — a briefly-down peer costs latency, not messages. A
+/// peer that stays down past the policy's attempt budget turns the route
+/// dead (see [`TcpTransport::gave_up_routes`]).
 fn writer_loop(addr: SocketAddr, rx: Receiver<Envelope>, inner: Arc<Inner>) {
+    let policy = inner.policy;
+    let mut rng =
+        DetRng::new(policy.jitter_seed ^ u64::from(addr.port())).stream("tcp-reconnect-jitter");
     let mut stream: Option<TcpStream> = None;
-    let mut backoff = BACKOFF_START;
+    let mut backoff = policy.backoff_start;
+    let mut failures = 0u32;
     while let Ok(env) = rx.recv() {
         let Ok(frame) = frame_envelope(&env) else {
             continue;
@@ -388,24 +507,58 @@ fn writer_loop(addr: SocketAddr, rx: Receiver<Envelope>, inner: Arc<Inner>) {
                 match TcpStream::connect(addr) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
-                        backoff = BACKOFF_START;
+                        backoff = policy.backoff_start;
                         stream = Some(s);
                     }
                     Err(_) => {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                        failures += 1;
+                        if policy.exhausted(failures) {
+                            give_up(addr, &rx, &inner);
+                            return;
+                        }
+                        std::thread::sleep(policy.jittered(backoff, &mut rng));
+                        backoff = (backoff * 2).min(policy.backoff_cap);
                     }
                 }
                 continue;
             };
             match s.write_all(&frame) {
-                Ok(()) => break,
+                Ok(()) => {
+                    failures = 0;
+                    break;
+                }
                 Err(_) => {
                     stream = None;
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    failures += 1;
+                    if policy.exhausted(failures) {
+                        give_up(addr, &rx, &inner);
+                        return;
+                    }
+                    std::thread::sleep(policy.jittered(backoff, &mut rng));
+                    backoff = (backoff * 2).min(policy.backoff_cap);
                 }
             }
+        }
+    }
+}
+
+/// Marks `addr` dead (counting the frame that was in flight) and drains the
+/// queue behind it into the dropped count until the sender disappears —
+/// at shutdown, or when `set_route` revives the address.
+fn give_up(addr: SocketAddr, rx: &Receiver<Envelope>, inner: &Arc<Inner>) {
+    *inner
+        .dead
+        .lock()
+        .expect("dead lock")
+        .entry(addr)
+        .or_insert(0) += 1;
+    while rx.recv().is_ok() {
+        if let Some(dropped) = inner.dead.lock().expect("dead lock").get_mut(&addr) {
+            *dropped += 1;
+        } else {
+            // Revived while frames were still queued: nothing useful to do
+            // with stale traffic for a dead incarnation; stop counting.
+            return;
         }
     }
 }
@@ -550,5 +703,51 @@ mod tests {
         };
         assert_eq!(got.id.seq.0, 7, "the failed frame is re-sent, not lost");
         a.shutdown();
+    }
+
+    #[test]
+    fn bounded_policy_gives_up_and_surfaces_the_route() {
+        // A permanently dead destination with a tiny attempt budget: the
+        // writer must give up quickly, surface the route, and count every
+        // frame dropped since — never spin forever.
+        let policy = ReconnectPolicy {
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            max_attempts: Some(3),
+            jitter_seed: 9,
+        };
+        let a = TcpTransport::bind_with("127.0.0.1:0", policy).unwrap();
+        let p2: Endpoint = ProcessId(2).into();
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        a.set_route(p2, addr);
+        a.send(env(p2, 0, vec![]));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.gave_up_routes().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer failed to give up within its budget"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Later sends are dropped-and-counted, not queued behind a corpse.
+        a.send(env(p2, 1, vec![]));
+        a.send(env(p2, 2, vec![]));
+        let routes = a.gave_up_routes();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].addr, addr);
+        assert!(routes[0].dropped >= 3, "dropped={}", routes[0].dropped);
+        // set_route revives the address: a fresh writer reaches a listener
+        // that now exists.
+        let late = TcpTransport::bind(addr).expect("port still free");
+        let rx = late.register(p2);
+        a.set_route(p2, addr);
+        assert!(a.gave_up_routes().is_empty(), "revived route is not dead");
+        a.send(env(p2, 3, vec![3]));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().id.seq.0, 3);
+        a.shutdown();
+        late.shutdown();
     }
 }

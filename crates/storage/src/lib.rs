@@ -19,6 +19,7 @@ pub mod codec;
 mod checkpoint;
 mod crc;
 mod disk;
+mod faulty;
 mod latency;
 mod stable;
 mod volatile;
@@ -26,6 +27,7 @@ mod volatile;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use crc::crc32;
 pub use disk::DiskStableStore;
+pub use faulty::{DiskFault, DiskFaultPlan, DiskOp, FaultyStable};
 pub use latency::DiskModel;
 pub use stable::{Stable, StableStats, StableStore, StableWriteError};
 pub use volatile::VolatileStore;

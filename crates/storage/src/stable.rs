@@ -145,6 +145,10 @@ pub struct StableStats {
     pub replacements: u64,
     /// Writes lost to a crash before committing.
     pub torn_writes: u64,
+    /// Committed records rejected by CRC verification on reload (bit-rot);
+    /// recovery fell back past each to the previous committed checkpoint.
+    /// Always zero for in-memory stores.
+    pub corrupt_records: u64,
 }
 
 /// One process's stable checkpoint store.

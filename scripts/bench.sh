@@ -28,4 +28,18 @@ BENCH_LABEL="$LABEL" BENCH_SAMPLES="$SAMPLES" BENCH_JSON="$JSON" \
     BENCH_GIT_REV="$GIT_REV" \
     cargo bench -q --bench missions
 
+# Optional: wall-clock a small deterministic chaos sweep against the live
+# three-process cluster. Machines without the cluster binaries (a
+# bench-only checkout, or a target dir built before the chaos crate
+# existed) skip this cleanly — the mission-bench record above is complete
+# without it.
+CHAOS_BIN="target/release/synergy-chaos"
+NODE_BIN="target/release/synergy-node"
+if [[ -x "$CHAOS_BIN" && -x "$NODE_BIN" ]]; then
+    echo "==> chaos sweep timing (8 campaigns, base seed 1)"
+    time "$CHAOS_BIN" --seeds 8 --base-seed 1 --node-bin "$NODE_BIN" > /dev/null
+else
+    echo "skip: chaos sweep ($CHAOS_BIN or $NODE_BIN not built; run 'cargo build --release' to enable)"
+fi
+
 echo "OK: run '$LABEL' ($SAMPLES samples) recorded in $JSON"

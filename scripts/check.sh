@@ -14,6 +14,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> chaos smoke: 4 fixed-seed campaigns against the live cluster"
+# Deterministic and fast (≤30 s even on slow machines): the release build
+# above produced the cluster binaries, and base seed 7 is the same fixed
+# spec family the chaos crate's own smoke test replays.
+./target/release/synergy-chaos --seeds 4 --base-seed 7 --jobs 2
+
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run -q
 
