@@ -19,6 +19,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use synergy::{Mission, Scheme, SystemConfig};
+use synergy_bench::record::{sanitize, BenchRecord};
 use synergy_bench::{rollback_distances, Fig7Params};
 
 fn mission(scheme: Scheme, seed: u64) -> synergy::MissionOutcome {
@@ -105,19 +106,6 @@ fn bench_fig7_point(samples: u64) -> Fig7Point {
     }
 }
 
-/// Strips characters that would break the hand-rolled record format:
-/// quotes (string delimiters) and braces (the brace-depth splitter).
-fn sanitize(field: &str) -> String {
-    field
-        .chars()
-        .map(|c| match c {
-            '"' => '\'',
-            '{' | '}' | '\\' => '_',
-            other => other,
-        })
-        .collect()
-}
-
 /// One run as a JSON object, indented to sit inside the `"runs"` array.
 fn run_json(
     label: &str,
@@ -148,74 +136,6 @@ fn run_json(
     s
 }
 
-/// Extracts the `"git_rev"` value from one run object's text, if present.
-fn run_git_rev(run: &str) -> Option<&str> {
-    let rest = &run[run.find("\"git_rev\": \"")? + "\"git_rev\": \"".len()..];
-    rest.find('"').map(|end| &rest[..end])
-}
-
-/// Splits an existing record into its run objects by brace depth. The
-/// format is owned end-to-end by this harness ([`sanitize`] keeps braces
-/// out of string fields), so depth tracking is exact — no JSON library
-/// involved.
-fn split_runs(record: &str) -> Vec<String> {
-    let body = match record.find("\"runs\": [") {
-        Some(pos) => &record[pos..],
-        None => return Vec::new(),
-    };
-    let mut runs = Vec::new();
-    let mut depth = 0usize;
-    let mut current = String::new();
-    for ch in body.chars() {
-        match ch {
-            '{' => {
-                depth += 1;
-                current.push(ch);
-            }
-            '}' => {
-                depth -= 1;
-                current.push(ch);
-                if depth == 0 {
-                    runs.push(std::mem::take(&mut current));
-                }
-            }
-            _ if depth > 0 => current.push(ch),
-            _ => {}
-        }
-    }
-    runs
-}
-
-/// Appends `run` to the `"runs"` array of the record at `path`, creating
-/// the file on first use. Existing records from the same `git_rev` are
-/// replaced — re-benching one commit updates its numbers instead of
-/// stacking duplicate entries.
-fn append_run(path: &str, run: &str) {
-    let mut runs = std::fs::read_to_string(path)
-        .map(|existing| split_runs(&existing))
-        .unwrap_or_default();
-    let replaced = if let Some(rev) = run_git_rev(run) {
-        let before = runs.len();
-        runs.retain(|r| run_git_rev(r) != Some(rev));
-        before - runs.len()
-    } else {
-        0
-    };
-    runs.push(run.trim_start().to_string());
-    let mut out = String::from("{\n  \"bench\": \"missions\",\n  \"runs\": [\n");
-    for (i, r) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(out, "    {r}{comma}");
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    if replaced > 0 {
-        println!("bench record appended to {path} (replaced {replaced} same-rev run)");
-    } else {
-        println!("bench record appended to {path}");
-    }
-}
-
 fn main() {
     let samples = samples_from_env();
     let schemes = bench_missions(samples);
@@ -223,9 +143,19 @@ fn main() {
     if let Ok(path) = std::env::var("BENCH_JSON") {
         let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
         let git_rev = std::env::var("BENCH_GIT_REV").ok();
-        append_run(
-            &path,
-            &run_json(&label, git_rev.as_deref(), samples, &schemes, &fig7),
-        );
+        let mut record = BenchRecord::load(&path);
+        let replaced = record.push_mission_run(&run_json(
+            &label,
+            git_rev.as_deref(),
+            samples,
+            &schemes,
+            &fig7,
+        ));
+        record.save(&path);
+        if replaced > 0 {
+            println!("bench record appended to {path} (replaced {replaced} same-rev run)");
+        } else {
+            println!("bench record appended to {path}");
+        }
     }
 }

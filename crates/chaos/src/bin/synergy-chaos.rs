@@ -6,6 +6,7 @@
 //! ```text
 //! synergy-chaos [--seeds <n>] [--base-seed <u64>] [--jobs <n>]
 //!               [--data-root <path>] [--node-bin <path>]
+//!               [--transport reactor|threads]
 //!               [--no-link] [--no-disk] [--no-crash] [--no-bitrot]
 //! ```
 //!
@@ -21,6 +22,7 @@ use std::sync::Mutex;
 use synergy_chaos::{
     run_campaign, shrink_failure, CampaignOutcome, CampaignResult, CampaignSpec, CampaignToggles,
 };
+use synergy_net::WireKind;
 
 struct Args {
     seeds: u64,
@@ -29,6 +31,7 @@ struct Args {
     data_root: PathBuf,
     node_bin: Option<PathBuf>,
     toggles: CampaignToggles,
+    transport: WireKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         data_root: std::env::temp_dir().join(format!("synergy-chaos-{}", std::process::id())),
         node_bin: None,
         toggles: CampaignToggles::default(),
+        transport: WireKind::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--data-root" => out.data_root = PathBuf::from(value()?),
             "--node-bin" => out.node_bin = Some(PathBuf::from(value()?)),
+            "--transport" => out.transport = value()?.parse()?,
             "--no-link" => out.toggles.link = false,
             "--no-disk" => out.toggles.disk = false,
             "--no-crash" => out.toggles.crash = false,
@@ -157,10 +162,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "sweep: {} campaigns from base seed {}, {} jobs, node binary {}",
+        "sweep: {} campaigns from base seed {}, {} jobs, {} wire, node binary {}",
         args.seeds,
         args.base_seed,
         args.jobs,
+        args.transport,
         node_bin.display()
     );
 
@@ -173,7 +179,8 @@ fn main() -> ExitCode {
                 if index >= args.seeds {
                     break;
                 }
-                let spec = CampaignSpec::generate(args.base_seed, index, args.toggles);
+                let mut spec = CampaignSpec::generate(args.base_seed, index, args.toggles);
+                spec.transport = args.transport;
                 let result = run_campaign(&spec, &node_bin, &args.data_root);
                 print_result(index, &result);
                 results.lock().expect("results lock").push((index, result));

@@ -122,6 +122,7 @@ fn cluster_config(spec: &CampaignSpec, node_bin: &Path, run_dir: PathBuf) -> Clu
     cfg.link_plan = spec.link.clone();
     cfg.disk_plans = spec.disk.clone();
     cfg.bitrot = spec.bitrot;
+    cfg.transport = spec.transport;
     cfg
 }
 
@@ -254,6 +255,7 @@ mod tests {
             chaos_lost: 0,
             stable_retries: retries,
             corrupt_records: 0,
+            backpressure: 0,
         }
     }
 

@@ -19,7 +19,7 @@
 use synergy::NodeId;
 use synergy_cluster::{CrashEvent, CrashKind};
 use synergy_des::DetRng;
-use synergy_net::{LinkFaultPlan, LinkFaults, PartitionWindow};
+use synergy_net::{LinkFaultPlan, LinkFaults, PartitionWindow, WireKind};
 use synergy_storage::{DiskFault, DiskFaultPlan, DiskOp};
 
 /// The checkpoint grid spacing every campaign uses, chosen so no grid
@@ -71,6 +71,10 @@ pub struct CampaignSpec {
     pub disk: Vec<DiskFaultPlan>,
     /// Whether to flip a bit in the victim's oldest committed record.
     pub bitrot: bool,
+    /// Which live-wire transport the cluster's nodes run. Not part of the
+    /// fault cocktail: the campaign must converge byte-identically on
+    /// either wire, which is exactly what the sweep checks.
+    pub transport: WireKind,
 }
 
 /// Commanded checkpoint rounds a mission of `steps` produces executes:
@@ -174,6 +178,7 @@ impl CampaignSpec {
             link,
             disk,
             bitrot,
+            transport: WireKind::default(),
         };
         if !toggles.link {
             spec.disable_link();

@@ -50,6 +50,18 @@ pub enum CtrlMsg {
     Status,
     /// Stop the node process.
     Shutdown,
+    /// Fault-campaign hook: fire `frames` raw data-plane envelopes of
+    /// `payload_bytes` each at `to` as fast as the wire accepts them,
+    /// counting rejections — how tests drive a stalled route into
+    /// backpressure on purpose.
+    Blast {
+        /// The destination endpoint.
+        to: Endpoint,
+        /// Envelopes to send.
+        frames: u64,
+        /// Application payload size per envelope.
+        payload_bytes: u64,
+    },
 }
 
 /// Node → orchestrator replies.
@@ -96,6 +108,13 @@ pub enum CtrlReply {
     },
     /// Reply to [`CtrlMsg::Status`].
     Status(WireStatus),
+    /// Reply to [`CtrlMsg::Blast`].
+    Blasted {
+        /// Envelopes the wire accepted.
+        sent: u64,
+        /// Envelopes dropped after the bounded backpressure-retry budget.
+        backpressure: u64,
+    },
 }
 
 /// The node-status subset the orchestrator consumes.
@@ -130,6 +149,10 @@ pub struct WireStatus {
     pub stable_retries: u64,
     /// Committed records rejected by CRC verification on reload (bit-rot).
     pub corrupt_records: u64,
+    /// Data-plane envelopes this node dropped because a route stayed
+    /// backpressured past the bounded retry budget. Nonzero means a frame
+    /// was lost on a live route — the campaign cannot converge.
+    pub backpressure: u64,
 }
 
 synergy_codec::codec_struct!(WireStatus {
@@ -147,6 +170,7 @@ synergy_codec::codec_struct!(WireStatus {
     chaos_lost,
     stable_retries,
     corrupt_records,
+    backpressure,
 });
 
 impl Codec for CtrlMsg {
@@ -169,6 +193,16 @@ impl Codec for CtrlMsg {
             }
             CtrlMsg::Status => 5u32.encode(out),
             CtrlMsg::Shutdown => 6u32.encode(out),
+            CtrlMsg::Blast {
+                to,
+                frames,
+                payload_bytes,
+            } => {
+                7u32.encode(out);
+                to.encode(out);
+                frames.encode(out);
+                payload_bytes.encode(out);
+            }
         }
     }
 
@@ -188,6 +222,11 @@ impl Codec for CtrlMsg {
             }),
             5 => Ok(CtrlMsg::Status),
             6 => Ok(CtrlMsg::Shutdown),
+            7 => Ok(CtrlMsg::Blast {
+                to: Endpoint::decode(r)?,
+                frames: u64::decode(r)?,
+                payload_bytes: u64::decode(r)?,
+            }),
             other => Err(CodecError::InvalidVariant(other)),
         }
     }
@@ -231,6 +270,11 @@ impl Codec for CtrlReply {
                 5u32.encode(out);
                 s.encode(out);
             }
+            CtrlReply::Blasted { sent, backpressure } => {
+                6u32.encode(out);
+                sent.encode(out);
+                backpressure.encode(out);
+            }
         }
     }
 
@@ -255,6 +299,10 @@ impl Codec for CtrlReply {
                 resent: u64::decode(r)?,
             }),
             5 => Ok(CtrlReply::Status(WireStatus::decode(r)?)),
+            6 => Ok(CtrlReply::Blasted {
+                sent: u64::decode(r)?,
+                backpressure: u64::decode(r)?,
+            }),
             other => Err(CodecError::InvalidVariant(other)),
         }
     }
@@ -318,6 +366,11 @@ mod tests {
         roundtrip(CtrlMsg::Rollback { epoch: 7 });
         roundtrip(CtrlMsg::Status);
         roundtrip(CtrlMsg::Shutdown);
+        roundtrip(CtrlMsg::Blast {
+            to: Endpoint::Process(ProcessId(2)),
+            frames: 4000,
+            payload_bytes: 16384,
+        });
     }
 
     #[test]
@@ -351,7 +404,12 @@ mod tests {
             chaos_lost: 0,
             stable_retries: 2,
             corrupt_records: 0,
+            backpressure: 0,
         }));
+        roundtrip(CtrlReply::Blasted {
+            sent: 3990,
+            backpressure: 10,
+        });
     }
 
     #[test]

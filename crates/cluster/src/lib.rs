@@ -6,8 +6,10 @@
 //! engines on real nodes; this crate is the closest runtime in the
 //! workspace to that setting. The same sans-io [`ProcessHost`] the
 //! simulator and the threaded middleware drive runs here as **three
-//! separate OS processes** (`synergy-node`) connected by
-//! [`TcpTransport`](synergy_net::tcp::TcpTransport), each persisting its
+//! separate OS processes** (`synergy-node`) connected by a
+//! [`LiveWire`](synergy_net::LiveWire) (the sharded nonblocking reactor
+//! by default, or the legacy thread-per-route transport via
+//! `--transport threads`), each persisting its
 //! TB stable checkpoints through a
 //! [`DiskStableStore`](synergy_storage::DiskStableStore) — and a hardware
 //! fault is a real `SIGKILL`, torn stable write included.
@@ -36,7 +38,7 @@ pub mod orchestrator;
 pub mod verify;
 
 pub use ctrl::{CtrlMsg, CtrlReply, WireStatus};
-pub use node::{plan_from_hex, plan_to_hex, run_node, NodeOpts};
+pub use node::{plan_from_hex, plan_to_hex, run_node, ClusterWire, NodeOpts};
 pub use orchestrator::{
     Cluster, ClusterConfig, ClusterError, ClusterReport, ClusterTimeouts, CrashEvent, CrashKind,
     KillReport,

@@ -10,9 +10,11 @@
 //!    and any record rejected by its CRC (bit-rot) is skipped in favour of
 //!    the previous checkpoint. The store is then wrapped in a
 //!    [`FaultyStable`] applying the campaign's disk-fault plan.
-//! 2. Bind the [`TcpTransport`] on an ephemeral port, wrap it in a
-//!    [`FaultyTransport`] applying the campaign's link-fault plan, and
-//!    start the node event loop with a *commanded* [`TbRuntime`] —
+//! 2. Bind the [`LiveWire`] (the sharded reactor by default, the legacy
+//!    thread-per-route transport with `--transport threads`) on an
+//!    ephemeral port, wrap it in a [`ClusterWire`] (bounded backpressure
+//!    retry) and a [`FaultyTransport`] applying the campaign's link-fault
+//!    plan, and start the node event loop with a *commanded* [`TbRuntime`] —
 //!    checkpoint rounds are driven by the orchestrator, not by wall-clock
 //!    timers, which keeps a distributed mission deterministic.
 //! 3. Connect back to the orchestrator, announce
@@ -30,17 +32,21 @@
 //! restarted one included.
 
 use std::io;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use synergy_clocks::SyncParams;
 use synergy_codec::Codec;
 use synergy_des::SimDuration;
 use synergy_middleware::{spawn_net_pump, NodeCmd, NodeInput, NodeStatus, SupEvent, TbRuntime};
-use synergy_net::tcp::TcpTransport;
-use synergy_net::{Endpoint, FaultyTransport, LinkFaultPlan, ProcessId};
+use synergy_net::{
+    Endpoint, Envelope, FaultyTransport, LinkFaultPlan, LiveWire, MessageBody, MsgId, MsgSeqNo,
+    ProcessId, SendError, Transport, WireKind, WirePolicy,
+};
 use synergy_storage::{DiskFaultPlan, DiskStableStore, FaultyStable, Stable};
 use synergy_tb::{TbConfig, TbVariant};
 
@@ -64,6 +70,11 @@ pub struct NodeOpts {
     pub link_plan: LinkFaultPlan,
     /// Stable-storage fault plan applied to this node's disk store.
     pub disk_plan: DiskFaultPlan,
+    /// Which live-wire transport to run (`--transport reactor|threads`).
+    pub transport: WireKind,
+    /// Override for the reactor's per-route ring capacity
+    /// (`--wire-queue-bytes`); `None` keeps the policy default.
+    pub wire_queue_bytes: Option<usize>,
 }
 
 /// Encodes a codec value as lowercase hex for command-line transport.
@@ -107,6 +118,8 @@ impl NodeOpts {
         let mut tb_interval_ms = 1700u64;
         let mut link_plan = LinkFaultPlan::default();
         let mut disk_plan = DiskFaultPlan::default();
+        let mut transport = WireKind::default();
+        let mut wire_queue_bytes = None;
         while let Some(flag) = args.next() {
             let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
             match flag.as_str() {
@@ -119,6 +132,10 @@ impl NodeOpts {
                 }
                 "--chaos-link" => link_plan = plan_from_hex(&value()?)?,
                 "--chaos-disk" => disk_plan = plan_from_hex(&value()?)?,
+                "--transport" => transport = value()?.parse()?,
+                "--wire-queue-bytes" => {
+                    wire_queue_bytes = Some(value()?.parse::<usize>().map_err(|e| e.to_string())?);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -130,7 +147,114 @@ impl NodeOpts {
             tb_interval_ms,
             link_plan,
             disk_plan,
+            transport,
+            wire_queue_bytes,
         })
+    }
+}
+
+/// The node's live wire with the cluster's backpressure discipline: a
+/// rejected send is retried with a bounded budget (the reactor's ring
+/// usually drains within microseconds), and only a route that stays
+/// saturated past the whole budget counts as *stalled* — surfaced through
+/// [`WireStatus::backpressure`], which the orchestrator treats as fatal,
+/// because a dropped data-plane frame breaks per-link FIFO and the
+/// campaign can no longer converge.
+pub struct ClusterWire {
+    wire: LiveWire,
+    /// Envelopes dropped after the retry budget — lost on a live route.
+    stalled: AtomicU64,
+    retry_budget: Duration,
+}
+
+impl ClusterWire {
+    /// Default retry budget: generous against transient ring pressure,
+    /// bounded so a truly wedged peer fails the mission instead of
+    /// hanging it.
+    pub const DEFAULT_RETRY_BUDGET: Duration = Duration::from_secs(2);
+
+    /// Wraps a live wire with the default retry budget.
+    pub fn new(wire: LiveWire) -> ClusterWire {
+        ClusterWire::with_budget(wire, ClusterWire::DEFAULT_RETRY_BUDGET)
+    }
+
+    /// Wraps a live wire with an explicit retry budget.
+    pub fn with_budget(wire: LiveWire, retry_budget: Duration) -> ClusterWire {
+        ClusterWire {
+            wire,
+            stalled: AtomicU64::new(0),
+            retry_budget,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn wire(&self) -> &LiveWire {
+        &self.wire
+    }
+
+    /// Envelopes dropped because a route stayed backpressured past the
+    /// retry budget.
+    pub fn stalled(&self) -> u64 {
+        self.stalled.load(Ordering::Relaxed)
+    }
+
+    /// Records one stalled-route drop (the blast hook counts its own
+    /// unretried rejections here so status sweeps see them).
+    pub fn note_stalled(&self) {
+        self.stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.wire.local_addr()
+    }
+
+    /// Registers an endpoint and returns its delivery channel.
+    pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        self.wire.register(endpoint)
+    }
+
+    /// Points `endpoint` at `addr` in the outbound routing table.
+    pub fn set_route(&self, endpoint: Endpoint, addr: SocketAddr) {
+        self.wire.set_route(endpoint, addr)
+    }
+
+    /// Stops the wrapped transport.
+    pub fn shutdown(&self) {
+        self.wire.shutdown()
+    }
+}
+
+impl std::fmt::Debug for ClusterWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterWire")
+            .field("kind", &self.wire.kind())
+            .field("stalled", &self.stalled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for ClusterWire {
+    fn send(&self, envelope: Envelope) {
+        match self.wire.try_send(&envelope) {
+            Err(SendError::Backpressure { .. }) => {}
+            // Delivered, or dropped for a reason the wire already
+            // accounts for (no route, dead route, shutdown).
+            _ => return,
+        }
+        let deadline = Instant::now() + self.retry_budget;
+        loop {
+            std::thread::sleep(Duration::from_millis(1));
+            match self.wire.try_send(&envelope) {
+                Err(SendError::Backpressure { .. }) => {
+                    if Instant::now() >= deadline {
+                        self.note_stalled();
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
     }
 }
 
@@ -176,7 +300,12 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
     let recovered_corrupt = reload_stats.corrupt_records;
     let store = FaultyStable::new(store, opts.disk_plan.clone());
 
-    let raw_net = Arc::new(TcpTransport::bind("127.0.0.1:0")?);
+    let mut policy = WirePolicy::default();
+    if let Some(bytes) = opts.wire_queue_bytes {
+        policy.queue_bytes = bytes;
+    }
+    let wire = LiveWire::bind_with(opts.transport, "127.0.0.1:0", policy)?;
+    let raw_net = Arc::new(ClusterWire::new(wire));
     let data_port = raw_net.local_addr().port();
     let pid = ProcessId(opts.pid);
     let net_rx = raw_net.register(Endpoint::Process(pid));
@@ -281,7 +410,44 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
                     chaos_lost: totals.lost,
                     stable_retries: s.stable_retries,
                     corrupt_records: recovered_corrupt,
+                    backpressure: raw_net.stalled(),
                 })
+            }
+            CtrlMsg::Blast {
+                to,
+                frames,
+                payload_bytes,
+            } => {
+                // Deliberate overdrive: raw try_send with no retry, so a
+                // saturated ring surfaces immediately as a typed rejection.
+                // Sequence numbers start far above anything the protocol
+                // engine produces to keep the two streams disjoint.
+                let mut sent = 0u64;
+                let mut rejected = 0u64;
+                for i in 0..frames {
+                    let env = Envelope::new(
+                        MsgId {
+                            from: pid,
+                            seq: MsgSeqNo(1 << 40 | i),
+                        },
+                        to,
+                        MessageBody::External {
+                            payload: vec![0u8; payload_bytes as usize],
+                        },
+                    );
+                    match raw_net.wire().try_send(&env) {
+                        Ok(()) => sent += 1,
+                        Err(SendError::Backpressure { .. }) => {
+                            rejected += 1;
+                            raw_net.note_stalled();
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                }
+                CtrlReply::Blasted {
+                    sent,
+                    backpressure: rejected,
+                }
             }
             CtrlMsg::Shutdown => {
                 send_cmd(&input_tx, NodeCmd::Shutdown)?;

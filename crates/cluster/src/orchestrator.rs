@@ -24,7 +24,12 @@
 //!   ([`ClusterError::NodeDied`]) from a wedged one
 //!   ([`ClusterError::Ctrl`]).
 //! * Victim restarts retry with linear backoff up to
-//!   [`ClusterTimeouts::restart_attempts`] before giving up.
+//!   [`ClusterTimeouts::restart_attempts`] before giving up (the shared
+//!   [`synergy_net::retry::Backoff`] schedule).
+//! * Every status sweep checks [`WireStatus::backpressure`]: a frame
+//!   dropped on a live route is unrecoverable (per-link FIFO is broken),
+//!   so the mission fails fast as [`ClusterError::Backpressure`] instead
+//!   of timing out in quiesce.
 //! * [`Cluster::quiesce`] is the heartbeat: repeated full-cluster status
 //!   sweeps until two consecutive snapshots are identical with no unacked
 //!   messages and an empty chaos queue — or the quiesce deadline passes
@@ -38,8 +43,8 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use synergy::NodeId;
-use synergy_net::tcp::TcpTransport;
-use synergy_net::{DeviceId, Endpoint, LinkFaultPlan, MessageBody, ProcessId};
+use synergy_net::retry::Backoff;
+use synergy_net::{DeviceId, Endpoint, LinkFaultPlan, LiveWire, MessageBody, ProcessId, WireKind};
 use synergy_storage::DiskFaultPlan;
 
 use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
@@ -116,6 +121,15 @@ pub enum ClusterError {
         /// What was received.
         detail: String,
     },
+    /// A node's live wire dropped frames because a route stayed
+    /// backpressured past its retry budget. Per-link FIFO is broken from
+    /// that point, so the mission fails fast instead of diverging.
+    Backpressure {
+        /// The node whose wire dropped frames.
+        pid: u32,
+        /// Frames lost on live routes.
+        dropped: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -127,6 +141,10 @@ impl fmt::Display for ClusterError {
             ClusterError::Quiesce { detail } => write!(f, "quiesce failed: {detail}"),
             ClusterError::Device { detail } => write!(f, "device stream failure: {detail}"),
             ClusterError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            ClusterError::Backpressure { pid, dropped } => write!(
+                f,
+                "pid {pid} dropped {dropped} frame(s) to backpressure on a live route"
+            ),
         }
     }
 }
@@ -187,6 +205,14 @@ pub struct ClusterConfig {
     /// reload path (only when the victim holds ≥ 2 committed records, so
     /// the epoch line — and hence the device stream — is unchanged).
     pub bitrot: bool,
+    /// Which live-wire transport every node (and the orchestrator's device
+    /// endpoint) runs: the sharded reactor by default, or the legacy
+    /// thread-per-route transport.
+    pub transport: WireKind,
+    /// Override for the reactor's per-route outbound ring capacity in
+    /// bytes; `None` keeps the wire-policy default. Small values are how
+    /// tests provoke backpressure deterministically.
+    pub wire_queue_bytes: Option<usize>,
     /// Path to the `synergy-node` binary.
     pub node_bin: PathBuf,
     /// Root directory for per-node stable storage
@@ -215,6 +241,8 @@ impl ClusterConfig {
             link_plan: LinkFaultPlan::inert(seed),
             disk_plans: Vec::new(),
             bitrot: false,
+            transport: WireKind::default(),
+            wire_queue_bytes: None,
             node_bin,
             data_root,
             timeouts: ClusterTimeouts::default(),
@@ -381,7 +409,7 @@ pub struct Cluster {
     cfg: ClusterConfig,
     ctrl_listener: TcpListener,
     ctrl_addr: String,
-    device_net: TcpTransport,
+    device_net: LiveWire,
     device_rx: std::sync::mpsc::Receiver<synergy_net::Envelope>,
     device_addr: String,
     nodes: Vec<NodeHandle>,
@@ -401,7 +429,7 @@ impl Cluster {
         };
         let ctrl_listener = TcpListener::bind("127.0.0.1:0").map_err(sock)?;
         let ctrl_addr = ctrl_listener.local_addr().map_err(sock)?.to_string();
-        let device_net = TcpTransport::bind("127.0.0.1:0").map_err(sock)?;
+        let device_net = LiveWire::bind(cfg.transport, "127.0.0.1:0").map_err(sock)?;
         let device_rx = device_net.register(Endpoint::Device(DeviceId(0)));
         let device_addr = device_net.local_addr().to_string();
 
@@ -468,6 +496,12 @@ impl Cluster {
             .arg(&self.ctrl_addr)
             .arg("--tb-interval-ms")
             .arg(interval_ms.to_string());
+        if self.cfg.transport != WireKind::default() {
+            cmd.arg("--transport").arg(self.cfg.transport.to_string());
+        }
+        if let Some(bytes) = self.cfg.wire_queue_bytes {
+            cmd.arg("--wire-queue-bytes").arg(bytes.to_string());
+        }
         if !self.cfg.link_plan.is_inert() {
             cmd.arg("--chaos-link")
                 .arg(plan_to_hex(&self.cfg.link_plan));
@@ -526,13 +560,23 @@ impl Cluster {
         Ok(())
     }
 
-    /// One full-cluster status sweep.
+    /// One full-cluster status sweep. Fails fast with
+    /// [`ClusterError::Backpressure`] if any node's wire dropped a frame on
+    /// a live route — the loss is permanent, so no later sweep can succeed.
     pub fn status_all(&mut self) -> Result<Vec<(u32, WireStatus)>, ClusterError> {
         let ctrl_timeout = self.cfg.timeouts.ctrl;
         let mut out = Vec::with_capacity(self.nodes.len());
         for node in &mut self.nodes {
             match node.roundtrip(&CtrlMsg::Status, ctrl_timeout)? {
-                CtrlReply::Status(s) => out.push((node.pid, s)),
+                CtrlReply::Status(s) => {
+                    if s.backpressure > 0 {
+                        return Err(ClusterError::Backpressure {
+                            pid: node.pid,
+                            dropped: s.backpressure,
+                        });
+                    }
+                    out.push((node.pid, s));
+                }
                 other => {
                     return Err(ClusterError::Protocol {
                         detail: format!("pid {}: expected Status, got {other:?}", node.pid),
@@ -541,6 +585,59 @@ impl Cluster {
             }
         }
         Ok(out)
+    }
+
+    /// Reroutes `endpoint` on one node's data plane. Public for wire
+    /// regression tests that point a route at an uncooperative peer.
+    ///
+    /// # Errors
+    ///
+    /// Control failures on the target node.
+    pub fn set_route(
+        &mut self,
+        node: NodeId,
+        endpoint: Endpoint,
+        addr: &str,
+    ) -> Result<(), ClusterError> {
+        let ctrl_timeout = self.cfg.timeouts.ctrl;
+        let reply = self.nodes[node.index()].roundtrip(
+            &CtrlMsg::SetRoute {
+                endpoint,
+                addr: addr.to_string(),
+            },
+            ctrl_timeout,
+        )?;
+        expect_done(reply)
+    }
+
+    /// Commands one node to fire `frames` raw envelopes of `payload_bytes`
+    /// at `to` with no backpressure retry, returning `(sent, rejected)`.
+    /// Public for wire regression tests that overdrive a route on purpose.
+    ///
+    /// # Errors
+    ///
+    /// Control failures on the target node.
+    pub fn blast(
+        &mut self,
+        node: NodeId,
+        to: Endpoint,
+        frames: u64,
+        payload_bytes: u64,
+    ) -> Result<(u64, u64), ClusterError> {
+        let ctrl_timeout = self.cfg.timeouts.ctrl;
+        match self.nodes[node.index()].roundtrip(
+            &CtrlMsg::Blast {
+                to,
+                frames,
+                payload_bytes,
+            },
+            ctrl_timeout,
+        )? {
+            CtrlReply::Blasted { sent, backpressure } => Ok((sent, backpressure)),
+            other => Err(ClusterError::Protocol {
+                detail: format!("expected Blasted, got {other:?}"),
+            }),
+        }
     }
 
     /// Status round-trip on every node: a cluster-wide command barrier.
@@ -657,35 +754,35 @@ impl Cluster {
     /// retry-with-backoff, returning its fresh handle state.
     fn restart_node(&mut self, node: NodeId) -> Result<(Child, HelloInfo), ClusterError> {
         let expected_pid = node.index() as u32 + 1;
-        let mut last_err = None;
-        for attempt in 0..self.cfg.timeouts.restart_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(self.cfg.timeouts.restart_backoff * attempt);
-            }
-            let mut child = match self.spawn_child(node) {
-                Ok(c) => c,
-                Err(e) => {
-                    last_err = Some(e);
-                    continue;
+        let mut backoff = Backoff::linear(
+            self.cfg.timeouts.restart_backoff,
+            Some(self.cfg.timeouts.restart_attempts.max(1)),
+        );
+        loop {
+            let attempt = (|| {
+                let mut child = self.spawn_child(node)?;
+                match accept_hello(
+                    &self.ctrl_listener,
+                    &mut child,
+                    expected_pid,
+                    &self.cfg.timeouts,
+                ) {
+                    Ok(hello) => Ok((child, hello)),
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        Err(e)
+                    }
                 }
-            };
-            match accept_hello(
-                &self.ctrl_listener,
-                &mut child,
-                expected_pid,
-                &self.cfg.timeouts,
-            ) {
-                Ok(hello) => return Ok((child, hello)),
-                Err(e) => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    last_err = Some(e);
-                }
+            })();
+            match attempt {
+                Ok(restarted) => return Ok(restarted),
+                Err(e) => match backoff.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(e),
+                },
             }
         }
-        Err(last_err.unwrap_or(ClusterError::Launch {
-            detail: format!("restart of {node} never attempted"),
-        }))
     }
 
     /// Installs a restarted victim's fresh handle.

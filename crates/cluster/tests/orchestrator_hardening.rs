@@ -2,12 +2,14 @@
 //! end in *structured*, attributed errors within the configured timeouts —
 //! never a hang.
 
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use synergy::NodeId;
 use synergy_cluster::{Cluster, ClusterConfig, ClusterError};
+use synergy_net::{Endpoint, ProcessId};
 
 fn unique_dir(label: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -105,5 +107,57 @@ fn control_drop_mid_command_is_attributed_within_timeout() {
         Err(ClusterError::NodeDied { pid, .. }) => assert_eq!(pid, 3),
         other => panic!("expected NodeDied from ensure_alive, got {other:?}"),
     }
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+/// A peer that accepts connections but never reads must surface as typed
+/// backpressure, not a hang: the overdriven node's ring fills, the blast
+/// reports rejections, and the next status sweep fails fast with a
+/// structured [`ClusterError::Backpressure`] naming the node.
+#[test]
+fn stalled_peer_surfaces_backpressure_never_a_hang() {
+    let data_root = unique_dir("stalled-peer");
+    let mut cfg = config(
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.clone(),
+    );
+    // A tiny outbound ring makes the stall observable with little traffic.
+    cfg.wire_queue_bytes = Some(64 * 1024);
+    let mut cluster = Cluster::launch(cfg).expect("cluster launches");
+
+    // The stalled peer: the kernel completes handshakes via the listen
+    // backlog, but nothing ever reads, so socket buffers fill and stay full.
+    let stall = TcpListener::bind("127.0.0.1:0").expect("bind stall listener");
+    let stall_addr = stall.local_addr().expect("stall addr").to_string();
+    cluster
+        .set_route(NodeId::P1Act, Endpoint::Process(ProcessId(3)), &stall_addr)
+        .expect("reroute P2 to the stalled peer");
+
+    // Overdrive the route far past ring + kernel buffers: 4000 × 16 KiB.
+    let started = Instant::now();
+    let (sent, rejected) = cluster
+        .blast(NodeId::P1Act, Endpoint::Process(ProcessId(3)), 4000, 16384)
+        .expect("blast completes");
+    assert_eq!(sent + rejected, 4000);
+    assert!(
+        rejected > 0,
+        "a never-reading peer must reject sends with backpressure \
+         (sent={sent}, rejected={rejected})"
+    );
+
+    // The loss is surfaced, attributed, and fatal — the status sweep fails
+    // fast instead of quiescing forever.
+    match cluster.status_all() {
+        Err(ClusterError::Backpressure { pid, dropped }) => {
+            assert_eq!(pid, 1, "the overdriven node is named");
+            assert_eq!(dropped, rejected, "every rejection is accounted");
+        }
+        other => panic!("expected Backpressure for pid 1, got {other:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "backpressure must surface within bounded time, took {elapsed:?}"
+    );
     let _ = std::fs::remove_dir_all(&data_root);
 }

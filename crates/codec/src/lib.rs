@@ -180,6 +180,29 @@ pub fn from_bytes<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
     Ok(value)
 }
 
+/// Encodes a byte slice with the exact layout of `Vec<u8>` (a `u64` length
+/// prefix followed by the raw bytes) in one bulk copy.
+///
+/// The generic `Vec<T>` impl encodes element by element, which for byte
+/// payloads means one call per byte; hot paths (the live wire, checkpoint
+/// images) should use this instead. The two encodings are byte-identical.
+pub fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    (bytes.len() as u64).encode(out);
+    out.extend_from_slice(bytes);
+}
+
+/// Decodes a byte vector encoded by [`encode_bytes`] or the generic
+/// `Vec<u8>` impl (the layouts are identical) in one bulk copy.
+///
+/// # Errors
+///
+/// [`CodecError::LengthOverflow`] on a hostile length prefix,
+/// [`CodecError::UnexpectedEof`] on truncated input.
+pub fn decode_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let len = r.take_len(1)?;
+    Ok(r.take(len)?.to_vec())
+}
+
 macro_rules! codec_int {
     ($($ty:ty),*) => {$(
         impl Codec for $ty {
@@ -454,6 +477,22 @@ mod tests {
         let back: Arc<[u32]> = from_bytes(&to_bytes(&shared).unwrap()).unwrap();
         assert_eq!(back.as_ref(), v.as_slice());
         roundtrip(Arc::new(42u64));
+    }
+
+    #[test]
+    fn bulk_bytes_match_generic_vec_layout() {
+        for payload in [vec![], vec![7u8], (0..=255u8).collect::<Vec<u8>>()] {
+            let mut bulk = Vec::new();
+            encode_bytes(&payload, &mut bulk);
+            assert_eq!(bulk, to_bytes(&payload).unwrap());
+            let mut r = Reader::new(&bulk);
+            assert_eq!(decode_bytes(&mut r).unwrap(), payload);
+            assert_eq!(r.remaining(), 0);
+        }
+        // Hostile prefix must not allocate.
+        let bytes = to_bytes(&u64::MAX).unwrap();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_bytes(&mut r), Err(CodecError::LengthOverflow));
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! application messages it has sent but not yet seen acknowledged, and
 //! re-sends them during hardware error recovery (paper §2.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use synergy_codec::codec_struct;
 
+use crate::frame::PiggyAck;
 use crate::message::{Envelope, MsgId};
 
 /// Tracks sent-but-unacknowledged messages for one process.
@@ -97,10 +98,54 @@ impl AckTracker {
     }
 }
 
+/// Acks waiting to piggyback on the next outbound data frame.
+///
+/// The reactor's per-route ring stashes ack envelopes here instead of
+/// encoding them as standalone frames; at flush time
+/// [`drain_for_frame`](Self::drain_for_frame) moves up to a frame's worth
+/// of them into the next data frame's header (see
+/// [`frame_envelope_with_acks`](crate::frame_envelope_with_acks)). Safe
+/// because acks are idempotent and order-free with respect to every other
+/// message class — an ack overtaking queued data changes nothing the
+/// [`AckTracker`] can observe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PendingAcks {
+    queue: VecDeque<PiggyAck>,
+}
+
+impl PendingAcks {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingAcks::default()
+    }
+
+    /// Stashes one ack for the next data frame.
+    pub fn push(&mut self, ack: PiggyAck) {
+        self.queue.push_back(ack);
+    }
+
+    /// Moves up to `max` acks out, oldest first — what the next data frame
+    /// carries in its header.
+    pub fn drain_for_frame(&mut self, max: usize) -> Vec<PiggyAck> {
+        let n = self.queue.len().min(max);
+        self.queue.drain(..n).collect()
+    }
+
+    /// Acks currently waiting for a ride.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no acks are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{MessageBody, MsgSeqNo, ProcessId};
+    use crate::message::{Endpoint, MessageBody, MsgSeqNo, ProcessId};
 
     fn env(seq: u64) -> Envelope {
         Envelope::new(
@@ -171,6 +216,35 @@ mod tests {
         assert_eq!(seqs, vec![7, 8]);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    fn piggy(seq: u64) -> PiggyAck {
+        PiggyAck {
+            to: Endpoint::from(ProcessId(2)),
+            id: MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(1000 + seq),
+            },
+            of: MsgId {
+                from: ProcessId(2),
+                seq: MsgSeqNo(seq),
+            },
+        }
+    }
+
+    #[test]
+    fn pending_acks_drain_oldest_first_up_to_the_frame_cap() {
+        let mut p = PendingAcks::new();
+        for seq in 0..5 {
+            p.push(piggy(seq));
+        }
+        let first = p.drain_for_frame(3);
+        assert_eq!(first, vec![piggy(0), piggy(1), piggy(2)]);
+        assert_eq!(p.len(), 2);
+        let rest = p.drain_for_frame(10);
+        assert_eq!(rest, vec![piggy(3), piggy(4)]);
+        assert!(p.is_empty());
+        assert!(p.drain_for_frame(10).is_empty());
     }
 
     #[test]

@@ -27,18 +27,28 @@ mod ack;
 mod delay;
 mod fault;
 mod faulty;
+mod frame;
+mod live;
 mod message;
+pub mod reactor;
+pub mod retry;
 mod sim;
 pub mod tcp;
 pub mod threaded;
 mod transport;
 
-pub use ack::AckTracker;
+pub use ack::{AckTracker, PendingAcks};
 pub use delay::DelayModel;
 pub use fault::{LinkFaultPlan, LinkFaults, PartitionWindow};
 pub use faulty::{FaultTotals, FaultyTransport, LostFrame};
+pub use frame::{
+    frame_envelope, frame_envelope_with_acks, FrameDecoder, FrameError, PiggyAck, MAX_FRAME_LEN,
+    MAX_PIGGY_ACKS,
+};
+pub use live::{LiveWire, WireKind};
 pub use message::{
     CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
 };
+pub use reactor::{ReactorTransport, SendError, WirePolicy, WireStats};
 pub use sim::{LinkKey, RouteDecision, SimNetwork};
 pub use transport::Transport;

@@ -1,0 +1,227 @@
+//! Selecting between the two live-wire transports.
+//!
+//! Both speak the same wire format (see [`frame`](crate::frame)), so a
+//! migrating cluster can mix them; [`LiveWire`] lets the cluster runtime
+//! pick one by configuration instead of by type.
+
+use core::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::str::FromStr;
+use std::sync::mpsc::Receiver;
+
+use crate::message::{Endpoint, Envelope};
+use crate::reactor::{ReactorTransport, SendError, WirePolicy, WireStats};
+use crate::tcp::{GaveUpRoute, TcpTransport};
+use crate::transport::Transport;
+
+/// Which live-wire transport a cluster process runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireKind {
+    /// The sharded nonblocking [`ReactorTransport`]: fixed thread count,
+    /// coalesced writes, piggybacked acks, typed backpressure.
+    #[default]
+    Reactor,
+    /// The legacy thread-per-route [`TcpTransport`], kept through the
+    /// migration window so the two implementations can be diffed under
+    /// identical fault campaigns.
+    Threads,
+}
+
+impl FromStr for WireKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reactor" => Ok(WireKind::Reactor),
+            "threads" => Ok(WireKind::Threads),
+            other => Err(format!("unknown transport {other:?} (reactor|threads)")),
+        }
+    }
+}
+
+impl fmt::Display for WireKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WireKind::Reactor => "reactor",
+            WireKind::Threads => "threads",
+        })
+    }
+}
+
+/// One of the two live-wire transports, chosen at bind time. The shared
+/// surface (`register`, `set_route`, `gave_up_routes`, `try_send`,
+/// `shutdown`) delegates; [`try_send`](Self::try_send) on the threaded
+/// transport never reports backpressure because its queues are unbounded —
+/// exactly the behaviour the reactor replaces.
+#[derive(Debug)]
+pub enum LiveWire {
+    /// The sharded nonblocking reactor.
+    Reactor(ReactorTransport),
+    /// The thread-per-route transport.
+    Threads(TcpTransport),
+}
+
+impl LiveWire {
+    /// Binds a transport of `kind` on `addr` (port 0 for OS-assigned).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind(kind: WireKind, addr: impl ToSocketAddrs) -> std::io::Result<LiveWire> {
+        match kind {
+            WireKind::Reactor => ReactorTransport::bind(addr).map(LiveWire::Reactor),
+            WireKind::Threads => TcpTransport::bind(addr).map(LiveWire::Threads),
+        }
+    }
+
+    /// [`bind`](Self::bind) with an explicit [`WirePolicy`]; the threaded
+    /// transport honours only the reconnect policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind_with(
+        kind: WireKind,
+        addr: impl ToSocketAddrs,
+        policy: WirePolicy,
+    ) -> std::io::Result<LiveWire> {
+        match kind {
+            WireKind::Reactor => ReactorTransport::bind_with(addr, policy).map(LiveWire::Reactor),
+            WireKind::Threads => {
+                TcpTransport::bind_with(addr, policy.reconnect).map(LiveWire::Threads)
+            }
+        }
+    }
+
+    /// Which transport this is.
+    pub fn kind(&self) -> WireKind {
+        match self {
+            LiveWire::Reactor(_) => WireKind::Reactor,
+            LiveWire::Threads(_) => WireKind::Threads,
+        }
+    }
+
+    /// The bound listen address — what peers should `set_route` to.
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            LiveWire::Reactor(t) => t.local_addr(),
+            LiveWire::Threads(t) => t.local_addr(),
+        }
+    }
+
+    /// Registers an endpoint hosted by this process and returns its
+    /// delivery channel.
+    pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        match self {
+            LiveWire::Reactor(t) => t.register(endpoint),
+            LiveWire::Threads(t) => t.register(endpoint),
+        }
+    }
+
+    /// Points `endpoint` at `addr`, replacing any previous mapping and
+    /// reviving a gave-up address.
+    pub fn set_route(&self, endpoint: Endpoint, addr: SocketAddr) {
+        match self {
+            LiveWire::Reactor(t) => t.set_route(endpoint, addr),
+            LiveWire::Threads(t) => t.set_route(endpoint, addr),
+        }
+    }
+
+    /// Destinations that exhausted the reconnect budget, with frames
+    /// dropped since.
+    pub fn gave_up_routes(&self) -> Vec<GaveUpRoute> {
+        match self {
+            LiveWire::Reactor(t) => t.gave_up_routes(),
+            LiveWire::Threads(t) => t.gave_up_routes(),
+        }
+    }
+
+    /// Nonblocking send with typed errors. The threaded transport's
+    /// unbounded queues accept everything, so only the reactor can report
+    /// [`SendError::Backpressure`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`]; the threaded arm always returns `Ok`.
+    pub fn try_send(&self, envelope: &Envelope) -> Result<(), SendError> {
+        match self {
+            LiveWire::Reactor(t) => t.try_send(envelope),
+            LiveWire::Threads(t) => {
+                t.send(envelope.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// The reactor's counters; `None` on the threaded transport.
+    pub fn stats(&self) -> Option<WireStats> {
+        match self {
+            LiveWire::Reactor(t) => Some(t.stats()),
+            LiveWire::Threads(_) => None,
+        }
+    }
+
+    /// Stops all threads and closes all sockets. Safe to call more than
+    /// once; also invoked on drop.
+    pub fn shutdown(&self) {
+        match self {
+            LiveWire::Reactor(t) => t.shutdown(),
+            LiveWire::Threads(t) => t.shutdown(),
+        }
+    }
+}
+
+impl Transport for LiveWire {
+    fn send(&self, envelope: Envelope) {
+        match self {
+            LiveWire::Reactor(t) => t.send(envelope),
+            LiveWire::Threads(t) => t.send(envelope),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MessageBody, MsgId, MsgSeqNo, ProcessId};
+    use std::time::Duration;
+
+    #[test]
+    fn kind_parses_and_displays_both_ways() {
+        for kind in [WireKind::Reactor, WireKind::Threads] {
+            assert_eq!(kind.to_string().parse::<WireKind>().unwrap(), kind);
+        }
+        assert!("carrier-pigeon".parse::<WireKind>().is_err());
+        assert_eq!(WireKind::default(), WireKind::Reactor);
+    }
+
+    #[test]
+    fn both_kinds_deliver_through_the_shared_surface() {
+        for kind in [WireKind::Reactor, WireKind::Threads] {
+            let a = LiveWire::bind(kind, "127.0.0.1:0").unwrap();
+            let b = LiveWire::bind(kind, "127.0.0.1:0").unwrap();
+            assert_eq!(a.kind(), kind);
+            let p2: Endpoint = ProcessId(2).into();
+            let rx = b.register(p2);
+            a.set_route(p2, b.local_addr());
+            let env = Envelope::new(
+                MsgId {
+                    from: ProcessId(1),
+                    seq: MsgSeqNo(1),
+                },
+                p2,
+                MessageBody::External { payload: vec![1] },
+            );
+            a.try_send(&env).unwrap();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(5)).unwrap().id.seq.0,
+                1,
+                "{kind}"
+            );
+            assert!(a.gave_up_routes().is_empty());
+            assert_eq!(a.stats().is_some(), kind == WireKind::Reactor);
+            a.shutdown();
+            b.shutdown();
+        }
+    }
+}

@@ -24,15 +24,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use synergy_codec::{from_bytes, to_bytes, CodecError};
-use synergy_des::DetRng;
-
 use crate::message::{Endpoint, Envelope};
+use crate::retry::Backoff;
 use crate::transport::Transport;
 
-/// Upper bound on one frame's payload; larger length prefixes indicate a
-/// corrupt or hostile stream and poison the connection.
-pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+// The wire framing lives in `frame` (shared with the reactor transport);
+// re-exported here because this module is where it historically lived.
+pub use crate::frame::{
+    frame_envelope, frame_envelope_with_acks, FrameDecoder, FrameError, PiggyAck, MAX_FRAME_LEN,
+    MAX_PIGGY_ACKS,
+};
 
 /// How a writer thread behaves when its destination is unreachable.
 ///
@@ -60,13 +61,11 @@ pub struct ReconnectPolicy {
 }
 
 impl ReconnectPolicy {
-    fn exhausted(&self, failures: u32) -> bool {
-        self.max_attempts.is_some_and(|cap| failures >= cap)
-    }
-
-    fn jittered(&self, base: Duration, rng: &mut DetRng) -> Duration {
-        // ±25%, quantized to whole percent so the sleep stays exact math.
-        base * rng.gen_range(75..=125u64) as u32 / 100
+    /// The policy as a [`Backoff`] schedule for one destination, jittered
+    /// per-address so peers do not reconnect in lockstep.
+    pub(crate) fn backoff_for(&self, addr: SocketAddr) -> Backoff {
+        Backoff::exponential(self.backoff_start, self.backoff_cap, self.max_attempts)
+            .with_jitter(self.jitter_seed ^ u64::from(addr.port()))
     }
 }
 
@@ -91,121 +90,6 @@ pub struct GaveUpRoute {
     pub addr: SocketAddr,
     /// Frames dropped on this route since the writer gave up.
     pub dropped: u64,
-}
-
-/// Errors from the length-prefixed wire framing.
-#[derive(Debug)]
-pub enum FrameError {
-    /// A length prefix exceeded [`MAX_FRAME_LEN`].
-    Oversized(usize),
-    /// The frame payload did not decode as an [`Envelope`].
-    Codec(CodecError),
-}
-
-impl fmt::Display for FrameError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FrameError::Oversized(len) => {
-                write!(f, "frame length {len} exceeds {MAX_FRAME_LEN}")
-            }
-            FrameError::Codec(e) => write!(f, "frame payload decode error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for FrameError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            FrameError::Oversized(_) => None,
-            FrameError::Codec(e) => Some(e),
-        }
-    }
-}
-
-/// Encodes `envelope` as one wire frame: `payload_len: u32 LE · payload`.
-///
-/// # Errors
-///
-/// Returns [`FrameError::Codec`] if the envelope cannot be serialized and
-/// [`FrameError::Oversized`] if the payload exceeds [`MAX_FRAME_LEN`].
-pub fn frame_envelope(envelope: &Envelope) -> Result<Vec<u8>, FrameError> {
-    let payload = to_bytes(envelope).map_err(FrameError::Codec)?;
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized(payload.len()));
-    }
-    let mut out = Vec::with_capacity(payload.len() + 4);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
-}
-
-/// Incremental frame decoder: TCP hands back arbitrary chunks, this
-/// reassembles them into complete envelopes regardless of where the read
-/// boundaries fall.
-///
-/// # Example
-///
-/// ```rust
-/// use synergy_net::tcp::{frame_envelope, FrameDecoder};
-/// use synergy_net::{Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId};
-///
-/// let env = Envelope::new(
-///     MsgId { from: ProcessId(1), seq: MsgSeqNo(7) },
-///     ProcessId(2),
-///     MessageBody::External { payload: vec![1, 2, 3] },
-/// );
-/// let frame = frame_envelope(&env)?;
-/// let mut dec = FrameDecoder::new();
-/// dec.push(&frame[..3]); // a torn read mid-length-prefix
-/// assert!(dec.next_envelope()?.is_none());
-/// dec.push(&frame[3..]);
-/// assert_eq!(dec.next_envelope()?, Some(env));
-/// # Ok::<(), synergy_net::tcp::FrameError>(())
-/// ```
-#[derive(Debug, Default)]
-pub struct FrameDecoder {
-    buf: Vec<u8>,
-}
-
-impl FrameDecoder {
-    /// Creates an empty decoder.
-    pub fn new() -> Self {
-        FrameDecoder::default()
-    }
-
-    /// Appends a raw chunk as read from the socket.
-    pub fn push(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
-    }
-
-    /// Extracts the next complete envelope, or `None` if more bytes are
-    /// needed.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`FrameError`] when the stream is corrupt (oversized length
-    /// prefix or undecodable payload); the connection should be dropped, as
-    /// resynchronization within a poisoned byte stream is impossible.
-    pub fn next_envelope(&mut self) -> Result<Option<Envelope>, FrameError> {
-        let Some(prefix) = self.buf.get(..4) else {
-            return Ok(None);
-        };
-        let len = u32::from_le_bytes(prefix.try_into().expect("4-byte slice")) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(FrameError::Oversized(len));
-        }
-        let Some(payload) = self.buf.get(4..4 + len) else {
-            return Ok(None);
-        };
-        let env = from_bytes(payload).map_err(FrameError::Codec)?;
-        self.buf.drain(..4 + len);
-        Ok(Some(env))
-    }
-
-    /// Bytes buffered but not yet consumed as frames.
-    pub fn buffered(&self) -> usize {
-        self.buf.len()
-    }
 }
 
 struct Inner {
@@ -465,20 +349,16 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<Inner>) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
-        dec.push(&buf[..n]);
-        loop {
-            match dec.next_envelope() {
-                Ok(Some(env)) => {
-                    let endpoints = inner.endpoints.lock().expect("endpoints lock");
-                    if let Some(tx) = endpoints.get(&env.to) {
-                        let _ = tx.send(env);
-                    }
-                }
-                Ok(None) => break,
-                // Corrupt stream: no resync is possible, drop the connection
-                // (the peer's writer will reconnect and start a clean one).
-                Err(_) => return,
+        let delivered = dec.drain_chunk(&buf[..n], |env| {
+            let endpoints = inner.endpoints.lock().expect("endpoints lock");
+            if let Some(tx) = endpoints.get(&env.to) {
+                let _ = tx.send(env);
             }
+        });
+        // Corrupt stream: no resync is possible, drop the connection
+        // (the peer's writer will reconnect and start a clean one).
+        if delivered.is_err() {
+            return;
         }
     }
 }
@@ -489,12 +369,8 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<Inner>) {
 /// peer that stays down past the policy's attempt budget turns the route
 /// dead (see [`TcpTransport::gave_up_routes`]).
 fn writer_loop(addr: SocketAddr, rx: Receiver<Envelope>, inner: Arc<Inner>) {
-    let policy = inner.policy;
-    let mut rng =
-        DetRng::new(policy.jitter_seed ^ u64::from(addr.port())).stream("tcp-reconnect-jitter");
+    let mut backoff = inner.policy.backoff_for(addr);
     let mut stream: Option<TcpStream> = None;
-    let mut backoff = policy.backoff_start;
-    let mut failures = 0u32;
     while let Ok(env) = rx.recv() {
         let Ok(frame) = frame_envelope(&env) else {
             continue;
@@ -507,35 +383,32 @@ fn writer_loop(addr: SocketAddr, rx: Receiver<Envelope>, inner: Arc<Inner>) {
                 match TcpStream::connect(addr) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
-                        backoff = policy.backoff_start;
                         stream = Some(s);
                     }
-                    Err(_) => {
-                        failures += 1;
-                        if policy.exhausted(failures) {
+                    Err(_) => match backoff.next_delay() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
                             give_up(addr, &rx, &inner);
                             return;
                         }
-                        std::thread::sleep(policy.jittered(backoff, &mut rng));
-                        backoff = (backoff * 2).min(policy.backoff_cap);
-                    }
+                    },
                 }
                 continue;
             };
             match s.write_all(&frame) {
                 Ok(()) => {
-                    failures = 0;
+                    backoff.reset();
                     break;
                 }
                 Err(_) => {
                     stream = None;
-                    failures += 1;
-                    if policy.exhausted(failures) {
-                        give_up(addr, &rx, &inner);
-                        return;
+                    match backoff.next_delay() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
+                            give_up(addr, &rx, &inner);
+                            return;
+                        }
                     }
-                    std::thread::sleep(policy.jittered(backoff, &mut rng));
-                    backoff = (backoff * 2).min(policy.backoff_cap);
                 }
             }
         }
@@ -605,8 +478,9 @@ mod tests {
     #[test]
     fn garbage_payload_is_a_codec_error() {
         let mut dec = FrameDecoder::new();
-        dec.push(&4u32.to_le_bytes());
-        dec.push(&[0xFF; 4]);
+        dec.push(&6u32.to_le_bytes());
+        dec.push(&0u16.to_le_bytes()); // no piggybacked acks...
+        dec.push(&[0xFF; 4]); // ...then an undecodable envelope
         assert!(matches!(dec.next_envelope(), Err(FrameError::Codec(_))));
     }
 

@@ -9,9 +9,10 @@
 //! a seeded `DetRng`, so failures reproduce exactly.
 
 use synergy_des::DetRng;
-use synergy_net::tcp::{frame_envelope, FrameDecoder};
+use synergy_net::tcp::{frame_envelope, frame_envelope_with_acks, FrameDecoder, PiggyAck};
 use synergy_net::{
     CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+    MAX_PIGGY_ACKS,
 };
 
 fn arbitrary_body(rng: &mut DetRng) -> MessageBody {
@@ -142,6 +143,83 @@ fn concatenated_frames_in_one_read_all_decode() {
         out.push(env);
     }
     assert_eq!(out, envelopes);
+}
+
+fn arbitrary_acks(rng: &mut DetRng) -> Vec<PiggyAck> {
+    let n = rng.gen_range(0u64..=MAX_PIGGY_ACKS as u64) as usize;
+    (0..n)
+        .map(|_| PiggyAck {
+            to: ProcessId(rng.gen_range(1u64..4) as u32).into(),
+            id: MsgId {
+                from: ProcessId(rng.gen_range(1u64..4) as u32),
+                seq: MsgSeqNo(rng.next_u64()),
+            },
+            of: MsgId {
+                from: ProcessId(rng.gen_range(1u64..4) as u32),
+                seq: MsgSeqNo(rng.next_u64()),
+            },
+        })
+        .collect()
+}
+
+/// What a frame with piggybacked acks must decode to: the acks as
+/// standalone ack envelopes (in header order), then the data envelope.
+fn expected_for(env: &Envelope, acks: &[PiggyAck]) -> Vec<Envelope> {
+    let mut out: Vec<Envelope> = acks.iter().map(|a| a.into_envelope()).collect();
+    out.push(env.clone());
+    out
+}
+
+#[test]
+fn piggybacked_ack_frames_roundtrip_across_arbitrary_chunk_boundaries() {
+    for seed in 0..200u64 {
+        let mut rng = DetRng::new(seed).stream("piggy-roundtrip");
+        let n = rng.gen_range(1u64..12) as usize;
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..n {
+            let env = arbitrary_envelope(&mut rng);
+            let acks = arbitrary_acks(&mut rng);
+            wire.extend_from_slice(&frame_envelope_with_acks(&env, &acks).expect("encodable"));
+            expected.extend(expected_for(&env, &acks));
+        }
+        let decoded = decode_chunked(&wire, &mut rng);
+        assert_eq!(decoded, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn piggybacked_ack_frame_survives_every_split_point() {
+    // Exhaustive: one data frame carrying acks, split at every byte
+    // boundary into exactly two reads — the header extension must be as
+    // torn-read-proof as the rest of the frame.
+    let mut rng = DetRng::new(99).stream("piggy-every-split");
+    let env = arbitrary_envelope(&mut rng);
+    let acks: Vec<PiggyAck> = loop {
+        let acks = arbitrary_acks(&mut rng);
+        if !acks.is_empty() {
+            break acks;
+        }
+    };
+    let frame = frame_envelope_with_acks(&env, &acks).expect("encodable");
+    let expected = expected_for(&env, &acks);
+    for split in 0..=frame.len() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..split]);
+        let mut got = Vec::new();
+        while let Some(e) = dec.next_envelope().expect("valid prefix") {
+            got.push(e);
+        }
+        if split < frame.len() {
+            assert!(got.is_empty(), "split {split}: decoded from a prefix");
+        }
+        dec.push(&frame[split..]);
+        while let Some(e) = dec.next_envelope().expect("valid stream") {
+            got.push(e);
+        }
+        assert_eq!(got, expected, "split {split}");
+        assert_eq!(dec.buffered(), 0);
+    }
 }
 
 mod partition_heal {

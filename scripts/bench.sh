@@ -28,6 +28,14 @@ BENCH_LABEL="$LABEL" BENCH_SAMPLES="$SAMPLES" BENCH_JSON="$JSON" \
     BENCH_GIT_REV="$GIT_REV" \
     cargo bench -q --bench missions
 
+# Live-wire throughput: reactor vs thread-per-route on real loopback
+# sockets. Appends to the same record's "wire" section. BENCH_WIRE_FRAMES
+# (frames per sender, default 100000) trades runtime for stability —
+# check.sh smokes it with a small count.
+BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
+    BENCH_WIRE_FRAMES="${BENCH_WIRE_FRAMES:-}" \
+    cargo bench -q --bench wire
+
 # Optional: wall-clock a small deterministic chaos sweep against the live
 # three-process cluster. Machines without the cluster binaries (a
 # bench-only checkout, or a target dir built before the chaos crate

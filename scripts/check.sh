@@ -20,13 +20,19 @@ echo "==> chaos smoke: 4 fixed-seed campaigns against the live cluster"
 # spec family the chaos crate's own smoke test replays.
 ./target/release/synergy-chaos --seeds 4 --base-seed 7 --jobs 2
 
+echo "==> chaos smoke: legacy thread-per-route transport"
+# The reactor is the default; keep the legacy path honest too while it
+# remains the migration fallback.
+./target/release/synergy-chaos --seeds 2 --base-seed 7 --jobs 2 --transport threads
+
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run -q
 
-echo "==> bench.sh smoke (1 sample, throwaway record)"
+echo "==> bench.sh smoke (1 sample, small wire run, throwaway record)"
 smoke_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$smoke_json"' EXIT
-scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
+BENCH_WIRE_FRAMES=2000 scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
 grep -q '"ms_per_mission"' "$smoke_json"
+grep -q '"wire"' "$smoke_json"
 
 echo "OK: fmt, clippy, tier-1 and bench smoke all passed"
