@@ -1,0 +1,169 @@
+//! Fleet-scaling benchmark: missions/s and mission-latency percentiles as
+//! the tenant count climbs 1 → 100 → 1 000 → 10 000 over one shared
+//! runtime. Every scale runs the same mission mix as the `synergy-fleet`
+//! driver — fault-free tenants plus scheduled hardware faults (every 7th)
+//! and activated design faults (every 11th) — so the numbers include
+//! rollback traffic, not just quiet missions.
+//!
+//! A plain timing harness (`harness = false`).
+//!
+//! Environment knobs (all optional, used by `scripts/bench.sh`):
+//!
+//! - `BENCH_FLEET_TENANTS`: cap on the largest scale (default 10000).
+//! - `BENCH_JSON`: path of the JSON regression record; the run is
+//!   appended to its `"fleet"` section.
+//! - `BENCH_LABEL`, `BENCH_GIT_REV`: label and revision stored with the run.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use synergy::{Scheme, SystemConfig};
+use synergy_bench::record::{sanitize, BenchRecord};
+use synergy_fleet::{FleetConfig, FleetManager, MissionId, NullSink};
+
+const DURATION_SECS: f64 = 60.0;
+const QUANTUM: usize = 256;
+
+fn cap_from_env() -> u64 {
+    std::env::var("BENCH_FLEET_TENANTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10_000)
+}
+
+fn mission_cfg(i: u64) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
+        .scheme(Scheme::Coordinated)
+        .mission(MissionId(i))
+        .seed(i)
+        .duration_secs(DURATION_SECS)
+        .internal_rate_per_min(60.0)
+        .external_rate_per_min(6.0)
+        .trace(false);
+    if i.is_multiple_of(7) {
+        builder = builder.hardware_fault_at_secs(DURATION_SECS * 0.5);
+    }
+    if i.is_multiple_of(11) {
+        builder = builder.software_fault_at_secs(DURATION_SECS * 0.33);
+    }
+    builder.build()
+}
+
+struct ScaleResult {
+    tenants: u64,
+    missions_per_sec: f64,
+    wall_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    rollbacks_sw: u64,
+    rollbacks_hw: u64,
+}
+
+fn bench_scale(tenants: u64, workers: usize) -> ScaleResult {
+    let fleet = FleetManager::new(
+        FleetConfig::default()
+            .with_slots(tenants as usize)
+            .with_workers(workers)
+            .with_quantum(QUANTUM),
+        Arc::new(NullSink::new()),
+    );
+    for i in 1..=tenants {
+        fleet.attach(mission_cfg(i)).expect("attach within budget");
+    }
+    let started = Instant::now();
+    let completed = fleet.run_until_idle();
+    let wall = started.elapsed();
+    assert_eq!(completed, tenants, "every mission must complete");
+    let stats = fleet.stats();
+    let (rollbacks_sw, rollbacks_hw) = stats.rollbacks();
+    ScaleResult {
+        tenants,
+        missions_per_sec: completed as f64 / wall.as_secs_f64().max(1e-9),
+        wall_secs: wall.as_secs_f64(),
+        p50_ms: stats.latency_percentile_ms(50.0).unwrap_or(0.0),
+        p99_ms: stats.latency_percentile_ms(99.0).unwrap_or(0.0),
+        rollbacks_sw,
+        rollbacks_hw,
+    }
+}
+
+fn run_json(label: &str, git_rev: Option<&str>, workers: usize, results: &[ScaleResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "        \"label\": \"{}\",", sanitize(label));
+    if let Some(rev) = git_rev {
+        let _ = writeln!(s, "        \"git_rev\": \"{}\",", sanitize(rev));
+    }
+    let _ = writeln!(s, "        \"workers\": {workers},");
+    let _ = writeln!(s, "        \"quantum_events\": {QUANTUM},");
+    let _ = writeln!(s, "        \"mission_duration_secs\": {DURATION_SECS},");
+    let _ = writeln!(s, "        \"scales\": {{");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "          \"{}\": {{ \"missions_per_sec\": {:.0}, \"wall_secs\": {:.3}, \
+             \"latency_p50_ms\": {:.1}, \"latency_p99_ms\": {:.1}, \
+             \"software_rollbacks\": {}, \"hardware_rollbacks\": {}, \
+             \"rollbacks_per_tenant\": {:.3} }}{comma}",
+            r.tenants,
+            r.missions_per_sec,
+            r.wall_secs,
+            r.p50_ms,
+            r.p99_ms,
+            r.rollbacks_sw,
+            r.rollbacks_hw,
+            (r.rollbacks_sw + r.rollbacks_hw) as f64 / r.tenants as f64,
+        );
+    }
+    let _ = writeln!(s, "        }},");
+    let peak = results.last().expect("at least one scale");
+    let _ = writeln!(s, "        \"peak_tenants\": {},", peak.tenants);
+    let _ = writeln!(
+        s,
+        "        \"peak_missions_per_sec\": {:.0}",
+        peak.missions_per_sec
+    );
+    let _ = write!(s, "      }}");
+    s
+}
+
+fn main() {
+    let cap = cap_from_env();
+    let workers = FleetConfig::default().workers;
+    let mut results = Vec::new();
+    for tenants in [1u64, 100, 1_000, 10_000] {
+        if tenants > cap {
+            break;
+        }
+        let r = bench_scale(tenants, workers);
+        println!(
+            "fleet/{}: {:.0} missions/s in {:.2}s, latency p50 {:.1} ms p99 {:.1} ms, \
+             rollbacks sw={} hw={}",
+            r.tenants,
+            r.missions_per_sec,
+            r.wall_secs,
+            r.p50_ms,
+            r.p99_ms,
+            r.rollbacks_sw,
+            r.rollbacks_hw
+        );
+        results.push(r);
+    }
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
+        let git_rev = std::env::var("BENCH_GIT_REV").ok();
+        let mut record = BenchRecord::load(&path);
+        let replaced =
+            record.push_fleet_run(&run_json(&label, git_rev.as_deref(), workers, &results));
+        record.save(&path);
+        if replaced > 0 {
+            println!("fleet record appended to {path} (replaced {replaced} same-rev run)");
+        } else {
+            println!("fleet record appended to {path}");
+        }
+    }
+}

@@ -11,14 +11,17 @@
 //!   "runs": [ { ...one mission run per git rev... } ],
 //!   "wire": {
 //!     "runs": [ { ...one wire-throughput run per git rev... } ]
+//!   },
+//!   "fleet": {
+//!     "runs": [ { ...one fleet-scaling run per git rev... } ]
 //!   }
 //! }
 //! ```
 //!
-//! The `missions` and `wire` harnesses both append to the same file;
-//! [`BenchRecord`] parses whichever sections exist, replaces same-`git_rev`
-//! runs (re-benching one commit updates its numbers instead of stacking
-//! duplicates), and renders the whole record back.
+//! The `missions`, `wire` and `fleet` harnesses all append to the same
+//! file; [`BenchRecord`] parses whichever sections exist, replaces
+//! same-`git_rev` runs (re-benching one commit updates its numbers instead
+//! of stacking duplicates), and renders the whole record back.
 
 use std::fmt::Write as _;
 
@@ -94,19 +97,26 @@ fn render_runs(out: &mut String, runs: &[String], indent: &str) {
     }
 }
 
-/// The parsed regression record: mission-timing runs plus wire-throughput
-/// runs, each an opaque pre-rendered JSON object string.
+/// The parsed regression record: mission-timing runs, wire-throughput
+/// runs and fleet-scaling runs, each an opaque pre-rendered JSON object
+/// string.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BenchRecord {
     /// Objects of the top-level `"runs"` array (the missions harness).
     pub mission_runs: Vec<String>,
     /// Objects of the `"wire"` section's `"runs"` array.
     pub wire_runs: Vec<String>,
+    /// Objects of the `"fleet"` section's `"runs"` array.
+    pub fleet_runs: Vec<String>,
 }
 
 /// The marker opening the wire section. [`sanitize`] guarantees no string
 /// field can contain a literal `"`, so this sequence is always structure.
 const WIRE_KEY: &str = "\"wire\": {";
+
+/// The marker opening the fleet section; always rendered after the wire
+/// section (when both exist).
+const FLEET_KEY: &str = "\"fleet\": {";
 
 impl BenchRecord {
     /// Loads the record at `path`; a missing or unreadable file is an
@@ -119,13 +129,18 @@ impl BenchRecord {
 
     /// Parses a rendered record.
     pub fn parse(record: &str) -> BenchRecord {
-        let (mission_part, wire_part) = match record.find(WIRE_KEY) {
+        let (rest, fleet_part) = match record.find(FLEET_KEY) {
             Some(pos) => record.split_at(pos),
             None => (record, ""),
+        };
+        let (mission_part, wire_part) = match rest.find(WIRE_KEY) {
+            Some(pos) => rest.split_at(pos),
+            None => (rest, ""),
         };
         BenchRecord {
             mission_runs: array_objects(mission_part, "\"runs\": ["),
             wire_runs: array_objects(wire_part, "\"runs\": ["),
+            fleet_runs: array_objects(fleet_part, "\"runs\": ["),
         }
     }
 
@@ -141,20 +156,30 @@ impl BenchRecord {
         push_dedup(&mut self.wire_runs, run)
     }
 
-    /// Renders the full record. The `"wire"` section is omitted while it
-    /// has no runs, so mission-only records keep their historical shape.
+    /// Appends a fleet run, replacing any prior run of the same `git_rev`;
+    /// returns how many runs were replaced.
+    pub fn push_fleet_run(&mut self, run: &str) -> usize {
+        push_dedup(&mut self.fleet_runs, run)
+    }
+
+    /// Renders the full record. The `"wire"` and `"fleet"` sections are
+    /// omitted while they have no runs, so mission-only records keep their
+    /// historical shape.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"bench\": \"missions\",\n  \"runs\": [\n");
         render_runs(&mut out, &self.mission_runs, "    ");
-        if self.wire_runs.is_empty() {
-            out.push_str("  ]\n}\n");
-        } else {
-            out.push_str("  ],\n  ");
-            out.push_str(WIRE_KEY);
+        out.push_str("  ]");
+        for (key, runs) in [(WIRE_KEY, &self.wire_runs), (FLEET_KEY, &self.fleet_runs)] {
+            if runs.is_empty() {
+                continue;
+            }
+            out.push_str(",\n  ");
+            out.push_str(key);
             out.push_str("\n    \"runs\": [\n");
-            render_runs(&mut out, &self.wire_runs, "      ");
-            out.push_str("    ]\n  }\n}\n");
+            render_runs(&mut out, runs, "      ");
+            out.push_str("    ]\n  }");
         }
+        out.push_str("\n}\n");
         out
     }
 
@@ -187,10 +212,30 @@ mod tests {
         rec.push_mission_run(&run("m1", Some("aaa")));
         rec.push_mission_run(&run("m2", Some("bbb")));
         rec.push_wire_run(&run("w1", Some("aaa")));
+        rec.push_fleet_run(&run("f1", Some("aaa")));
         let back = BenchRecord::parse(&rec.render());
         assert_eq!(back.mission_runs.len(), 2);
         assert_eq!(back.wire_runs.len(), 1);
+        assert_eq!(back.fleet_runs.len(), 1);
         assert_eq!(BenchRecord::parse(&back.render()), back);
+    }
+
+    #[test]
+    fn fleet_runs_stay_out_of_the_other_sections() {
+        let mut rec = BenchRecord::default();
+        rec.push_mission_run(&run("m", Some("aaa")));
+        rec.push_fleet_run(&run("f", Some("aaa")));
+        let back = BenchRecord::parse(&rec.render());
+        assert_eq!(back.mission_runs.len(), 1, "{}", rec.render());
+        assert_eq!(back.wire_runs.len(), 0);
+        assert_eq!(back.fleet_runs.len(), 1);
+        assert!(back.fleet_runs[0].contains("\"label\": \"f\""));
+        // A fleet-only record (no wire section) still parses cleanly.
+        let mut solo = BenchRecord::default();
+        solo.push_fleet_run(&run("only", Some("bbb")));
+        let back = BenchRecord::parse(&solo.render());
+        assert_eq!(back.fleet_runs.len(), 1);
+        assert!(back.mission_runs.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use synergy_clocks::SyncParams;
 use synergy_des::{SimDuration, SimTime};
 use synergy_mdcd::MdcdConfig;
+use synergy_net::MissionId;
 use synergy_storage::DiskModel;
 use synergy_tb::TbVariant;
 
@@ -55,6 +56,11 @@ pub struct SystemConfig {
     pub scheme: Scheme,
     /// Master seed for all random streams.
     pub seed: u64,
+    /// The mission (tenant) identity this run carries. Purely a tag: it
+    /// never feeds a random stream, so two runs differing only in mission
+    /// id produce byte-identical protocol behaviour. Fleet deployments
+    /// assign distinct ids; standalone runs keep [`MissionId::SOLO`].
+    pub mission: MissionId,
     /// Mission length.
     pub duration: SimDuration,
     /// Minimum network delay (`tmin`).
@@ -114,6 +120,7 @@ impl Default for SystemConfigBuilder {
             cfg: SystemConfig {
                 scheme: Scheme::Coordinated,
                 seed: 0,
+                mission: MissionId::SOLO,
                 duration: SimDuration::from_secs(300),
                 tmin: SimDuration::from_micros(200),
                 tmax: SimDuration::from_millis(2),
@@ -141,6 +148,12 @@ impl SystemConfigBuilder {
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Tags the run with a mission (tenant) identity.
+    pub fn mission(mut self, mission: MissionId) -> Self {
+        self.cfg.mission = mission;
         self
     }
 

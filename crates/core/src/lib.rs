@@ -61,4 +61,5 @@ pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
 pub use faults::{FaultPlan, HardwareFault, NodeId, SoftwareFault};
 pub use metrics::RunMetrics;
 pub use payload::{CheckpointPayload, SentRecord};
+pub use synergy_net::MissionId;
 pub use system::{Mission, MissionOutcome, System};

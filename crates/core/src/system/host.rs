@@ -19,7 +19,8 @@ use synergy_mdcd::{
     ProcessRole,
 };
 use synergy_net::{
-    AckTracker, CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+    AckTracker, CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MissionId, MsgId, MsgSeqNo,
+    ProcessId,
 };
 use synergy_storage::{StableStore, VolatileStore};
 use synergy_tb::{Action as TbAction, ContentsChoice, Event as TbEvent, TbConfig, TbEngine};
@@ -152,6 +153,11 @@ pub enum HostAction {
 pub struct ProcessHost {
     /// This process's id.
     pub pid: ProcessId,
+    /// The mission (tenant) this host belongs to. Everything the host
+    /// sends — protocol envelopes and transport acks — is stamped with
+    /// this tag, so any number of hosts can share one transport route.
+    /// Single-mission deployments stay on [`MissionId::SOLO`].
+    pub mission: MissionId,
     /// The node this process runs on (indexes the clock fleet).
     pub node: usize,
     /// The layout this host addresses its peers through.
@@ -227,6 +233,7 @@ impl ProcessHost {
         let policy = policy_for(scheme);
         ProcessHost {
             pid,
+            mission: MissionId::SOLO,
             node,
             topology,
             engine: RoleEngine::new(
@@ -282,6 +289,13 @@ impl ProcessHost {
     /// skip every [`HostAction::Record`] (and the formatting behind it).
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+    }
+
+    /// Assigns the host to a mission (tenant). Call once at construction
+    /// time, before any traffic: the tag becomes part of every envelope
+    /// the host sends and of every checkpoint's unacked records.
+    pub fn set_mission(&mut self, mission: MissionId) {
+        self.mission = mission;
     }
 
     /// A shared view of the sent log, reused until the next append.
@@ -452,7 +466,10 @@ impl ProcessHost {
     fn apply_mdcd(&mut self, actions: Vec<MdcdAction>, now: SimTime, out: &mut Vec<HostAction>) {
         for action in actions {
             match action {
-                MdcdAction::Send(env) => {
+                MdcdAction::Send(mut env) => {
+                    // The engines are mission-blind; the host boundary is
+                    // where the tenant tag goes on.
+                    env.mission = self.mission;
                     self.note_send(&env);
                     out.push(HostAction::Send(env));
                 }
@@ -477,7 +494,8 @@ impl ProcessHost {
                         },
                         from,
                         MessageBody::Ack { of: id },
-                    );
+                    )
+                    .with_mission(self.mission);
                     out.push(HostAction::SendAck(ack));
                 }
                 MdcdAction::AtPerformed { pass } => out.push(HostAction::AtPerformed { pass }),

@@ -138,6 +138,7 @@ impl System {
         ];
         for h in &mut hosts {
             h.set_tracing(cfg.trace);
+            h.set_mission(cfg.mission);
         }
         let host_actors = vec![a_act, a_sdw, a_p2];
         let actor_index = host_actors
@@ -331,6 +332,38 @@ impl System {
             let Some(fired) = self.sim.step() else { break };
             self.dispatch(fired.actor, fired.time, fired.event);
         }
+    }
+
+    /// Whether the mission has run to its configured end (or drained its
+    /// event queue).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Advances the mission by at most `budget` discrete events and
+    /// returns how many actually fired.
+    ///
+    /// This is the fleet's multiplexing surface: a worker grants each
+    /// tenant a bounded quantum of virtual-time progress, so one tenant's
+    /// recovery (rollback, replay, retransmissions — all just events) can
+    /// never hold a shared worker for longer than one quantum. A return
+    /// value below `budget` means the mission [`finished`](Self::finished).
+    pub fn step_events(&mut self, budget: usize) -> usize {
+        let mut fired_count = 0;
+        while fired_count < budget && !self.finished {
+            let Some(fired) = self.sim.step() else {
+                self.finished = true;
+                break;
+            };
+            self.dispatch(fired.actor, fired.time, fired.event);
+            fired_count += 1;
+        }
+        fired_count
+    }
+
+    /// The mission tag this run stamps on its envelopes.
+    pub fn mission(&self) -> synergy_net::MissionId {
+        self.cfg.mission
     }
 }
 

@@ -1,0 +1,267 @@
+//! The fleet driver: attaches `--tenants` independent missions, runs them
+//! all to completion over the shared scheduler, and dumps the fleet's
+//! metrics registry as JSON.
+//!
+//! ```text
+//! synergy-fleet [--tenants <n>] [--workers <n>] [--slots <n>]
+//!               [--seed <u64>] [--duration-secs <f64>] [--quantum <n>]
+//!               [--fault-every <n>] [--sw-fault-every <n>]
+//!               [--sink null|bounded:<cap>] [--verify <k>]
+//!               [--tenant-rows <n>]
+//! ```
+//!
+//! A fraction of tenants carry scheduled hardware faults (every
+//! `--fault-every`-th) and activated design faults (every
+//! `--sw-fault-every`-th), so the fleet exercises rollbacks, not just the
+//! fault-free path. `--verify <k>` re-runs `k` sampled tenants as
+//! standalone simulator missions and diffs device streams and full run
+//! metrics byte-for-byte — exit status is nonzero on any divergence.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use synergy::{Scheme, System, SystemConfig};
+use synergy_fleet::{
+    device_payloads, BoundedSink, DeviceSink, FleetConfig, FleetManager, MissionId, NullSink,
+};
+
+struct Args {
+    tenants: u64,
+    workers: usize,
+    slots: Option<usize>,
+    seed: u64,
+    duration_secs: f64,
+    quantum: usize,
+    fault_every: u64,
+    sw_fault_every: u64,
+    sink: SinkChoice,
+    verify: u64,
+    tenant_rows: usize,
+}
+
+enum SinkChoice {
+    Null,
+    Bounded(usize),
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        tenants: 10_000,
+        workers: FleetConfig::default().workers,
+        slots: None,
+        seed: 1,
+        duration_secs: 60.0,
+        quantum: 256,
+        fault_every: 7,
+        sw_fault_every: 11,
+        sink: SinkChoice::Null,
+        verify: 0,
+        tenant_rows: 20,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--tenants" => out.tenants = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => out.workers = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--slots" => out.slots = Some(value()?.parse().map_err(|e| format!("{e}"))?),
+            "--seed" => out.seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-secs" => {
+                out.duration_secs = value()?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--quantum" => out.quantum = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--fault-every" => out.fault_every = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--sw-fault-every" => {
+                out.sw_fault_every = value()?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--sink" => {
+                let v = value()?;
+                out.sink = match v.as_str() {
+                    "null" => SinkChoice::Null,
+                    bounded => match bounded.strip_prefix("bounded:") {
+                        Some(cap) => SinkChoice::Bounded(cap.parse().map_err(|e| format!("{e}"))?),
+                        None => {
+                            return Err(format!("--sink must be null or bounded:<cap>, got {v}"))
+                        }
+                    },
+                };
+            }
+            "--verify" => out.verify = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--tenant-rows" => out.tenant_rows = value()?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.tenants == 0 {
+        return Err("--tenants must be at least 1".to_string());
+    }
+    Ok(out)
+}
+
+/// The mission config of tenant `i` — shared with `--verify`, which
+/// rebuilds the identical mission as a standalone (SOLO) simulator run.
+fn tenant_config(args: &Args, i: u64, mission: MissionId) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
+        .scheme(Scheme::Coordinated)
+        .mission(mission)
+        .seed(args.seed.wrapping_add(i))
+        .duration_secs(args.duration_secs)
+        .internal_rate_per_min(60.0)
+        .external_rate_per_min(6.0)
+        .trace(false);
+    if args.fault_every > 0 && i.is_multiple_of(args.fault_every) {
+        builder = builder.hardware_fault_at_secs(args.duration_secs * 0.5);
+    }
+    if args.sw_fault_every > 0 && i.is_multiple_of(args.sw_fault_every) {
+        builder = builder.software_fault_at_secs(args.duration_secs * 0.33);
+    }
+    builder.build()
+}
+
+/// Re-runs tenant `i` as a standalone simulator mission and diffs it
+/// against the fleet tenant's captured device stream and harvested
+/// metrics.
+fn verify_tenant(args: &Args, i: u64, report: &synergy_fleet::TenantReport) -> Result<(), String> {
+    let solo_cfg = tenant_config(args, i, MissionId::SOLO);
+    let mut solo = System::new(solo_cfg);
+    solo.run();
+    let solo_stream = device_payloads(&solo);
+    if report.captured != solo_stream {
+        let first_diff = report
+            .captured
+            .iter()
+            .zip(&solo_stream)
+            .position(|(a, b)| a != b);
+        return Err(format!(
+            "tenant {} device stream diverged from solo run: {} vs {} payloads, first diff {:?}",
+            report.mission,
+            report.captured.len(),
+            solo_stream.len(),
+            first_diff
+        ));
+    }
+    if &report.metrics != solo.metrics() {
+        return Err(format!(
+            "tenant {} run metrics diverged from solo run",
+            report.mission
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("synergy-fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let bounded = match args.sink {
+        SinkChoice::Bounded(cap) => Some(Arc::new(BoundedSink::new(cap))),
+        SinkChoice::Null => None,
+    };
+    let sink: Arc<dyn DeviceSink> = match &bounded {
+        Some(b) => Arc::clone(b) as Arc<dyn DeviceSink>,
+        None => Arc::new(NullSink::new()),
+    };
+    let mut fleet_cfg = FleetConfig::default()
+        .with_slots(args.slots.unwrap_or(args.tenants as usize))
+        .with_workers(args.workers)
+        .with_quantum(args.quantum);
+    if args.verify > 0 {
+        fleet_cfg = fleet_cfg.with_capture();
+    }
+    let fleet = FleetManager::new(fleet_cfg, sink);
+
+    let attach_started = Instant::now();
+    for i in 1..=args.tenants {
+        let mission = MissionId(i);
+        if let Err(e) = fleet.attach(tenant_config(&args, i, mission)) {
+            eprintln!("synergy-fleet: attach {mission}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "fleet: attached {} tenants in {:.2}s ({} workers, quantum {})",
+        args.tenants,
+        attach_started.elapsed().as_secs_f64(),
+        fleet.config().workers,
+        fleet.config().quantum_events,
+    );
+
+    // A bounded sink needs a live consumer, or every tenant stalls and
+    // eventually sheds its stream.
+    let stop_drain = AtomicBool::new(false);
+    let drained = AtomicU64::new(0);
+    let completed = std::thread::scope(|scope| {
+        if let Some(b) = &bounded {
+            let stop = &stop_drain;
+            let drained = &drained;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    drained.fetch_add(b.drain().len() as u64, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                drained.fetch_add(b.drain().len() as u64, Ordering::Relaxed);
+            });
+        }
+        let run_started = Instant::now();
+        let completed = fleet.run_until_idle();
+        let wall = run_started.elapsed();
+        stop_drain.store(true, Ordering::Relaxed);
+        println!(
+            "fleet: completed {completed}/{} missions in {:.2}s ({:.0} missions/s)",
+            args.tenants,
+            wall.as_secs_f64(),
+            completed as f64 / wall.as_secs_f64().max(1e-9),
+        );
+        completed
+    });
+
+    let stats = Arc::clone(fleet.stats());
+    let (sw, hw) = stats.rollbacks();
+    println!(
+        "fleet: latency p50 {:.1} ms, p99 {:.1} ms; rollbacks sw={sw} hw={hw}; stalls={} drops={}",
+        stats.latency_percentile_ms(50.0).unwrap_or(0.0),
+        stats.latency_percentile_ms(99.0).unwrap_or(0.0),
+        stats.stalls(),
+        stats.drops(),
+    );
+    if bounded.is_some() {
+        println!(
+            "fleet: drained {} device messages",
+            drained.load(Ordering::Relaxed)
+        );
+    }
+
+    // Verify a sample of tenants against standalone simulator runs, then
+    // detach everything (sampled tenants via their detach reports).
+    let mut verify_failures = 0u64;
+    let step = (args.tenants / args.verify.max(1)).max(1);
+    for i in 1..=args.tenants {
+        let mission = MissionId(i);
+        match fleet.detach(mission) {
+            Ok(report) => {
+                if args.verify > 0 && i % step == 0 && (i / step) <= args.verify {
+                    match verify_tenant(&args, i, &report) {
+                        Ok(()) => println!("fleet: verify {mission}: byte-identical to solo run"),
+                        Err(e) => {
+                            verify_failures += 1;
+                            eprintln!("fleet: verify FAILED: {e}");
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("synergy-fleet: detach {mission}: {e}"),
+        }
+    }
+
+    println!("{}", stats.to_json(args.tenant_rows));
+    if verify_failures > 0 || completed < args.tenants {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

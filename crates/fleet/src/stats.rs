@@ -1,0 +1,315 @@
+//! The fleet-wide metrics registry.
+//!
+//! One [`FleetStats`] is shared (via `Arc`) between the manager, its
+//! worker threads and the driver. Fleet-level counters are atomics so the
+//! hot path never takes a lock; the per-tenant table is a mutex-guarded
+//! map written only at tenant completion/detach (cold events). The whole
+//! registry dumps as hand-rolled JSON — same house rule as the bench
+//! record: no JSON library, so no dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use synergy_net::MissionId;
+
+/// Counters harvested from one tenant, keyed by mission id in
+/// [`FleetStats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Simulator events fired for this tenant.
+    pub events: u64,
+    /// Scheduler quanta granted.
+    pub quanta: u64,
+    /// Device messages delivered to the sink.
+    pub device_msgs: u64,
+    /// MDCD (software) recoveries completed.
+    pub software_rollbacks: u64,
+    /// Global hardware rollbacks completed.
+    pub hardware_rollbacks: u64,
+    /// Times the device sink pushed back on this tenant.
+    pub stalls: u64,
+    /// Device messages dropped after the retry budget ran out.
+    pub drops: u64,
+    /// Times this tenant was torn down and rebuilt.
+    pub restarts: u64,
+    /// Wall-clock milliseconds from attach to mission completion
+    /// (0 until the mission completes).
+    pub latency_ms: f64,
+    /// Whether the paper's correctness verdicts held at completion.
+    pub verdicts_hold: bool,
+    /// Largest gap, in scheduler passes, between two consecutive visits —
+    /// the per-tenant isolation measure (1 = visited every pass).
+    pub max_pass_gap: u64,
+}
+
+/// Fleet-wide counters plus the per-tenant table.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    attached: AtomicU64,
+    detached: AtomicU64,
+    restarted: AtomicU64,
+    admission_rejections: AtomicU64,
+    completed: AtomicU64,
+    stalls: AtomicU64,
+    drops: AtomicU64,
+    events: AtomicU64,
+    device_msgs: AtomicU64,
+    software_rollbacks: AtomicU64,
+    hardware_rollbacks: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+    tenants: Mutex<BTreeMap<u64, TenantStats>>,
+}
+
+impl FleetStats {
+    /// Creates a zeroed registry.
+    pub fn new() -> FleetStats {
+        FleetStats::default()
+    }
+
+    pub(crate) fn note_attached(&self) {
+        self.attached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_detached(&self) {
+        self.detached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_restarted(&self) {
+        self.restarted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_admission_rejected(&self) {
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_drops(&self, n: u64) {
+        self.drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds a tenant's harvested counters into the registry. Called at
+    /// mission completion and at detach; the per-tenant row is replaced,
+    /// fleet totals only ever grow by the delta the caller accounts.
+    pub(crate) fn record_tenant(&self, mission: MissionId, stats: TenantStats) {
+        let mut tenants = self.tenants.lock().expect("fleet stats poisoned");
+        let prev = tenants.insert(mission.0, stats.clone()).unwrap_or_default();
+        drop(tenants);
+        let delta = |new: u64, old: u64| new.saturating_sub(old);
+        self.events
+            .fetch_add(delta(stats.events, prev.events), Ordering::Relaxed);
+        self.device_msgs.fetch_add(
+            delta(stats.device_msgs, prev.device_msgs),
+            Ordering::Relaxed,
+        );
+        self.software_rollbacks.fetch_add(
+            delta(stats.software_rollbacks, prev.software_rollbacks),
+            Ordering::Relaxed,
+        );
+        self.hardware_rollbacks.fetch_add(
+            delta(stats.hardware_rollbacks, prev.hardware_rollbacks),
+            Ordering::Relaxed,
+        );
+        if stats.latency_ms > 0.0 && prev.latency_ms == 0.0 {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.latencies_ms
+                .lock()
+                .expect("fleet stats poisoned")
+                .push(stats.latency_ms);
+        }
+    }
+
+    /// Tenants attached over the fleet's lifetime.
+    pub fn attached(&self) -> u64 {
+        self.attached.load(Ordering::Relaxed)
+    }
+
+    /// Tenants detached.
+    pub fn detached(&self) -> u64 {
+        self.detached.load(Ordering::Relaxed)
+    }
+
+    /// Tenant restarts performed.
+    pub fn restarted(&self) -> u64 {
+        self.restarted.load(Ordering::Relaxed)
+    }
+
+    /// Attaches rejected at the slot budget.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Missions run to completion.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Backpressure stalls across all tenants.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Device messages dropped after exhausted retry budgets.
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Simulator events fired across all harvested tenants.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Device messages delivered across all harvested tenants.
+    pub fn device_msgs(&self) -> u64 {
+        self.device_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Software and hardware rollback totals across all harvested tenants.
+    pub fn rollbacks(&self) -> (u64, u64) {
+        (
+            self.software_rollbacks.load(Ordering::Relaxed),
+            self.hardware_rollbacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The harvested counters of one tenant, if any were recorded.
+    pub fn tenant(&self, mission: MissionId) -> Option<TenantStats> {
+        self.tenants
+            .lock()
+            .expect("fleet stats poisoned")
+            .get(&mission.0)
+            .cloned()
+    }
+
+    /// The given percentile (0–100) of mission attach→completion latency,
+    /// in milliseconds; `None` until a mission completes.
+    pub fn latency_percentile_ms(&self, p: f64) -> Option<f64> {
+        let mut lat = self
+            .latencies_ms
+            .lock()
+            .expect("fleet stats poisoned")
+            .clone();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        Some(lat[idx.min(lat.len() - 1)])
+    }
+
+    /// Renders the registry as JSON. At most `tenant_limit` per-tenant
+    /// rows are included (lowest mission ids first); the aggregate
+    /// counters always cover every tenant.
+    pub fn to_json(&self, tenant_limit: usize) -> String {
+        let (sw, hw) = self.rollbacks();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"attached\": {},", self.attached());
+        let _ = writeln!(out, "  \"detached\": {},", self.detached());
+        let _ = writeln!(out, "  \"restarted\": {},", self.restarted());
+        let _ = writeln!(
+            out,
+            "  \"admission_rejections\": {},",
+            self.admission_rejections()
+        );
+        let _ = writeln!(out, "  \"completed\": {},", self.completed());
+        let _ = writeln!(out, "  \"stalls\": {},", self.stalls());
+        let _ = writeln!(out, "  \"drops\": {},", self.drops());
+        let _ = writeln!(out, "  \"events\": {},", self.events());
+        let _ = writeln!(out, "  \"device_msgs\": {},", self.device_msgs());
+        let _ = writeln!(out, "  \"software_rollbacks\": {sw},");
+        let _ = writeln!(out, "  \"hardware_rollbacks\": {hw},");
+        let _ = writeln!(
+            out,
+            "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},",
+            self.latency_percentile_ms(50.0).unwrap_or(0.0),
+            self.latency_percentile_ms(99.0).unwrap_or(0.0)
+        );
+        let tenants = self.tenants.lock().expect("fleet stats poisoned");
+        let shown = tenants.len().min(tenant_limit);
+        let _ = writeln!(out, "  \"tenants_recorded\": {},", tenants.len());
+        let _ = writeln!(out, "  \"tenants_shown\": {shown},");
+        out.push_str("  \"tenants\": [\n");
+        for (i, (mission, t)) in tenants.iter().take(tenant_limit).enumerate() {
+            let comma = if i + 1 < shown { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"mission\": {mission}, \"events\": {}, \"quanta\": {}, \
+                 \"device_msgs\": {}, \"software_rollbacks\": {}, \
+                 \"hardware_rollbacks\": {}, \"stalls\": {}, \"drops\": {}, \
+                 \"restarts\": {}, \"latency_ms\": {:.3}, \"verdicts_hold\": {}, \
+                 \"max_pass_gap\": {} }}{comma}",
+                t.events,
+                t.quanta,
+                t.device_msgs,
+                t.software_rollbacks,
+                t.hardware_rollbacks,
+                t.stalls,
+                t.drops,
+                t.restarts,
+                t.latency_ms,
+                t.verdicts_hold,
+                t.max_pass_gap
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed_tenant(events: u64, latency_ms: f64) -> TenantStats {
+        TenantStats {
+            events,
+            latency_ms,
+            verdicts_hold: true,
+            ..TenantStats::default()
+        }
+    }
+
+    #[test]
+    fn record_tenant_replaces_rows_and_grows_totals_by_delta() {
+        let stats = FleetStats::new();
+        let m = MissionId(7);
+        stats.record_tenant(m, completed_tenant(100, 0.0));
+        stats.record_tenant(m, completed_tenant(250, 12.5));
+        assert_eq!(stats.events(), 250, "totals grow by delta, not by sum");
+        assert_eq!(stats.completed(), 1, "completion counted once");
+        assert_eq!(stats.tenant(m).unwrap().events, 250);
+        assert_eq!(stats.latency_percentile_ms(50.0), Some(12.5));
+    }
+
+    #[test]
+    fn latency_percentiles_interpolate_over_completions() {
+        let stats = FleetStats::new();
+        for i in 1..=100u64 {
+            stats.record_tenant(MissionId(i), completed_tenant(1, i as f64));
+        }
+        // Nearest-rank over [1, 100]: index round(p/100 * 99).
+        assert_eq!(stats.latency_percentile_ms(50.0), Some(51.0));
+        assert_eq!(stats.latency_percentile_ms(99.0), Some(99.0));
+        assert_eq!(stats.completed(), 100);
+    }
+
+    #[test]
+    fn json_dump_caps_rows_but_not_aggregates() {
+        let stats = FleetStats::new();
+        for i in 1..=5u64 {
+            stats.note_attached();
+            stats.record_tenant(MissionId(i), completed_tenant(10, 1.0));
+        }
+        let json = stats.to_json(2);
+        assert!(json.contains("\"attached\": 5"));
+        assert!(json.contains("\"events\": 50"));
+        assert!(json.contains("\"tenants_recorded\": 5"));
+        assert!(json.contains("\"tenants_shown\": 2"));
+        assert!(json.contains("\"mission\": 1"));
+        assert!(!json.contains("\"mission\": 3"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Fleet lifecycle: attach → run → detach, admission at the slot budget,
+//! restart under load, and backpressure stall/drop accounting.
+
+use std::sync::Arc;
+
+use synergy::{Scheme, SystemConfig};
+use synergy_fleet::{
+    BoundedSink, DeviceSink, FleetConfig, FleetError, FleetManager, MissionId, NullSink,
+    TenantState,
+};
+
+fn mission_cfg(mission: u64, duration_secs: f64) -> SystemConfig {
+    SystemConfig::builder()
+        .scheme(Scheme::Coordinated)
+        .mission(MissionId(mission))
+        .seed(1000 + mission)
+        .duration_secs(duration_secs)
+        .internal_rate_per_min(60.0)
+        .external_rate_per_min(6.0)
+        .trace(false)
+        .build()
+}
+
+#[test]
+fn attach_run_detach_round_trip() {
+    let fleet = FleetManager::new(
+        FleetConfig::default().with_slots(8).with_workers(2),
+        Arc::new(NullSink::new()),
+    );
+    for m in 1..=3 {
+        fleet.attach(mission_cfg(m, 30.0)).unwrap();
+    }
+    assert_eq!(fleet.resident(), 3);
+    assert_eq!(fleet.run_until_idle(), 3);
+    for m in 1..=3u64 {
+        assert_eq!(fleet.state(MissionId(m)).unwrap(), TenantState::Completed);
+    }
+    for m in 1..=3u64 {
+        let report = fleet.detach(MissionId(m)).unwrap();
+        assert_eq!(report.mission, MissionId(m));
+        assert!(
+            report.verdicts_hold,
+            "fault-free mission must hold verdicts"
+        );
+        assert!(report.metrics.messages_delivered > 0);
+        assert!(report.stats.events > 0);
+        assert!(report.stats.latency_ms > 0.0);
+    }
+    assert_eq!(fleet.resident(), 0);
+    assert_eq!(fleet.stats().attached(), 3);
+    assert_eq!(fleet.stats().detached(), 3);
+    assert_eq!(fleet.stats().completed(), 3);
+    assert_eq!(
+        fleet.detach(MissionId(1)).unwrap_err(),
+        FleetError::UnknownMission(MissionId(1))
+    );
+}
+
+#[test]
+fn admission_rejects_at_the_slot_budget_and_recovers_after_detach() {
+    let fleet = FleetManager::new(
+        FleetConfig::default().with_slots(2).with_workers(1),
+        Arc::new(NullSink::new()),
+    );
+    fleet.attach(mission_cfg(1, 5.0)).unwrap();
+    // A duplicate attach is its own error and must not leak the slot it
+    // briefly claimed: mission 2 still fits afterwards.
+    assert_eq!(
+        fleet.attach(mission_cfg(1, 5.0)).unwrap_err(),
+        FleetError::AlreadyAttached(MissionId(1))
+    );
+    fleet.attach(mission_cfg(2, 5.0)).unwrap();
+    assert_eq!(
+        fleet.attach(mission_cfg(3, 5.0)).unwrap_err(),
+        FleetError::AdmissionRejected { limit: 2 }
+    );
+    assert_eq!(fleet.stats().admission_rejections(), 1);
+    fleet.run_until_idle();
+    fleet.detach(MissionId(1)).unwrap();
+    fleet.attach(mission_cfg(3, 5.0)).unwrap();
+    assert_eq!(fleet.resident(), 2);
+}
+
+#[test]
+fn restart_under_load_reruns_the_mission() {
+    let fleet = FleetManager::new(
+        FleetConfig::default().with_slots(4).with_workers(2),
+        Arc::new(NullSink::new()),
+    );
+    for m in 1..=4 {
+        fleet.attach(mission_cfg(m, 30.0)).unwrap();
+    }
+    std::thread::scope(|scope| {
+        let fleet = &fleet;
+        let worker = scope.spawn(move || fleet.run_until_idle());
+        // Restart M2 while the scheduler is (probably) mid-flight; the
+        // restart is legal from Active, Stalled and Completed alike, so
+        // there is no race on lifecycle legality — only on how much of
+        // the first run it wipes.
+        fleet.restart(MissionId(2)).unwrap();
+        worker.join().unwrap();
+    });
+    // If the restart landed after the scheduler already went idle, finish
+    // the rerun now.
+    fleet.run_until_idle();
+    assert_eq!(fleet.stats().restarted(), 1);
+    for m in 1..=4u64 {
+        assert_eq!(fleet.state(MissionId(m)).unwrap(), TenantState::Completed);
+    }
+    let report = fleet.detach(MissionId(2)).unwrap();
+    assert_eq!(report.stats.restarts, 1);
+    assert!(report.verdicts_hold);
+}
+
+#[test]
+fn shutdown_rejects_new_attaches_but_keeps_residents() {
+    let fleet = FleetManager::new(
+        FleetConfig::default().with_slots(4).with_workers(1),
+        Arc::new(NullSink::new()),
+    );
+    fleet.attach(mission_cfg(1, 5.0)).unwrap();
+    fleet.shut_down();
+    assert_eq!(
+        fleet.attach(mission_cfg(2, 5.0)).unwrap_err(),
+        FleetError::ShuttingDown
+    );
+    assert_eq!(fleet.run_until_idle(), 1);
+    assert!(fleet.detach(MissionId(1)).unwrap().verdicts_hold);
+}
+
+#[test]
+fn backpressure_stalls_then_drops_when_nobody_drains() {
+    // Capacity 2 and no consumer: the first two device messages land,
+    // every later one stalls through the whole retry budget and is shed.
+    let sink = Arc::new(BoundedSink::new(2));
+    let mut cfg = FleetConfig::default().with_slots(1).with_workers(1);
+    cfg.retry_start = std::time::Duration::from_micros(50);
+    cfg.retry_cap = std::time::Duration::from_micros(400);
+    cfg.retry_budget = Some(3);
+    let fleet = FleetManager::new(cfg, Arc::clone(&sink) as Arc<dyn DeviceSink>);
+    fleet.attach(mission_cfg(1, 120.0)).unwrap();
+    assert_eq!(fleet.run_until_idle(), 1);
+    let report = fleet.detach(MissionId(1)).unwrap();
+    let produced = report.stats.device_msgs + report.stats.drops;
+    assert!(produced > 2, "mission must produce more than the capacity");
+    assert_eq!(report.stats.device_msgs, 2, "only the capacity landed");
+    assert_eq!(report.stats.drops, produced - 2);
+    assert!(
+        report.stats.stalls >= 3 * report.stats.drops,
+        "every drop burns the whole retry budget first ({} stalls, {} drops)",
+        report.stats.stalls,
+        report.stats.drops
+    );
+    assert_eq!(fleet.stats().drops(), report.stats.drops);
+    assert_eq!(fleet.stats().stalls(), report.stats.stalls);
+    assert_eq!(sink.len(), 2);
+}
+
+#[test]
+fn backpressure_recovers_without_drops_when_a_consumer_drains() {
+    let sink = Arc::new(BoundedSink::new(1));
+    let mut cfg = FleetConfig::default().with_slots(1).with_workers(1);
+    cfg.retry_start = std::time::Duration::from_micros(50);
+    cfg.retry_cap = std::time::Duration::from_millis(1);
+    cfg.retry_budget = None; // retry forever: the consumer always drains
+    let fleet = FleetManager::new(cfg, Arc::clone(&sink) as Arc<dyn DeviceSink>);
+    fleet.attach(mission_cfg(1, 120.0)).unwrap();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let drained = std::thread::scope(|scope| {
+        let (stop_ref, sink_ref) = (&stop, &sink);
+        let drainer = scope.spawn(move || {
+            let mut drained = 0u64;
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                drained += sink_ref.drain().len() as u64;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            drained + sink_ref.drain().len() as u64
+        });
+        assert_eq!(fleet.run_until_idle(), 1);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        drainer.join().unwrap()
+    });
+    let report = fleet.detach(MissionId(1)).unwrap();
+    assert_eq!(report.stats.drops, 0, "a draining consumer loses nothing");
+    assert_eq!(drained, report.stats.device_msgs);
+    assert!(report.verdicts_hold);
+}

@@ -37,7 +37,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use synergy_net::threaded::ThreadedNet;
-use synergy_net::{DeviceId, Endpoint, Envelope, ProcessId};
+use synergy_net::{DeviceId, Endpoint, Envelope, MissionId, ProcessId};
 
 pub use node::{
     spawn_net_pump, NodeCmd, NodeInput, NodeReport, NodeRunner, NodeStatus, RollbackOutcome,
@@ -59,6 +59,10 @@ pub const DEVICE: DeviceId = DeviceId(0);
 /// Configuration of a middleware deployment.
 #[derive(Clone, Debug)]
 pub struct MiddlewareConfig {
+    /// The mission (tenant) this deployment serves. Standalone deployments
+    /// keep [`MissionId::SOLO`]; fleets spawning several deployments over
+    /// one shared transport ([`Middleware::spawn_on`]) assign distinct ids.
+    pub mission: MissionId,
     /// Seed for deterministic transport delays and application salts.
     pub seed: u64,
     /// Real-time message delay range.
@@ -72,6 +76,7 @@ pub struct MiddlewareConfig {
 impl Default for MiddlewareConfig {
     fn default() -> Self {
         MiddlewareConfig {
+            mission: MissionId::SOLO,
             seed: 0,
             delay: Duration::from_micros(100)..Duration::from_micros(500),
             tb_interval: None,
@@ -84,6 +89,12 @@ impl MiddlewareConfig {
     /// wall-clock interval.
     pub fn with_tb_interval(mut self, interval: Duration) -> Self {
         self.tb_interval = Some(interval);
+        self
+    }
+
+    /// Assigns the deployment to a mission (tenant).
+    pub fn with_mission(mut self, mission: MissionId) -> Self {
+        self.mission = mission;
         self
     }
 
@@ -119,6 +130,10 @@ pub struct MiddlewareReport {
 /// A running three-process guarded deployment.
 pub struct Middleware {
     net: Arc<ThreadedNet>,
+    /// Whether [`shutdown`](Self::shutdown) owns the transport. Tenants
+    /// spawned over a shared net ([`Middleware::spawn_on`]) leave it
+    /// running for their co-tenants.
+    owns_net: bool,
     cmd: HashMap<ProcessId, Sender<NodeInput>>,
     device_rx: Receiver<Envelope>,
     supervisor: Supervisor,
@@ -129,14 +144,28 @@ impl Middleware {
     /// Spawns the transport, the three process threads and the supervisor.
     pub fn spawn(config: MiddlewareConfig) -> Self {
         let net = Arc::new(ThreadedNet::new(config.delay.clone(), config.seed));
-        let device_rx = net.register(Endpoint::Device(DEVICE));
+        let mut mw = Middleware::spawn_on(net, config);
+        mw.owns_net = true;
+        mw
+    }
+
+    /// Spawns one tenant deployment over an existing shared transport.
+    ///
+    /// Every tenant reuses the canonical `P1act`/`P1sdw`/`P2`/`D0` layout;
+    /// its endpoints are registered under `config.mission` and all its
+    /// traffic carries that tag, so any number of deployments multiplex
+    /// over the same [`ThreadedNet`] without seeing each other. Shutting a
+    /// tenant down leaves the shared transport running.
+    pub fn spawn_on(net: Arc<ThreadedNet>, config: MiddlewareConfig) -> Self {
+        let mission = config.mission;
+        let device_rx = net.register_mission(mission, Endpoint::Device(DEVICE));
         let (sup_tx, sup_rx) = channel::<SupEvent>();
 
         let mut cmd = HashMap::new();
         let mut joins = Vec::new();
         for pid in [P1ACT, P1SDW, P2] {
             let (tx, rx) = channel::<NodeInput>();
-            let net_rx = net.register(Endpoint::Process(pid));
+            let net_rx = net.register_mission(mission, Endpoint::Process(pid));
             spawn_net_pump(pid, net_rx, tx.clone());
             let runner = NodeRunner::new(
                 pid,
@@ -145,11 +174,12 @@ impl Middleware {
                 rx,
                 sup_tx.clone(),
                 config.tb_config().map(TbRuntime::new),
-            );
+            )
+            .with_mission(mission);
             cmd.insert(pid, tx);
             joins.push(
                 std::thread::Builder::new()
-                    .name(format!("synergy-node-{pid}"))
+                    .name(format!("synergy-node-{mission}-{pid}"))
                     .spawn(move || runner.run())
                     .expect("spawn node thread"),
             );
@@ -157,6 +187,7 @@ impl Middleware {
         let supervisor = Supervisor::spawn(sup_rx, cmd.clone());
         Middleware {
             net,
+            owns_net: false,
             cmd,
             device_rx,
             supervisor,
@@ -227,7 +258,9 @@ impl Middleware {
             }
         }
         self.supervisor.stop();
-        self.net.shutdown();
+        if self.owns_net {
+            self.net.shutdown();
+        }
         report
     }
 }
@@ -240,7 +273,7 @@ mod tests {
         MiddlewareConfig {
             seed: 1,
             delay: Duration::from_micros(50)..Duration::from_micros(200),
-            tb_interval: None,
+            ..MiddlewareConfig::default()
         }
     }
 
@@ -333,6 +366,44 @@ mod tests {
         assert!(sdw.promoted);
         assert!(sdw.stable_commits >= 1);
         mw.shutdown();
+    }
+
+    #[test]
+    fn two_tenants_multiplex_one_transport_without_crosstalk() {
+        let net = Arc::new(ThreadedNet::new(
+            Duration::from_micros(50)..Duration::from_micros(200),
+            5,
+        ));
+        let a = Middleware::spawn_on(
+            Arc::clone(&net),
+            MiddlewareConfig { seed: 10, ..fast() }.with_mission(MissionId(1)),
+        );
+        let b = Middleware::spawn_on(
+            Arc::clone(&net),
+            MiddlewareConfig { seed: 20, ..fast() }.with_mission(MissionId(2)),
+        );
+        // Both tenants serve externals over the same net; each device
+        // stream carries only its own tenant's tag.
+        a.produce(1, true);
+        b.produce(1, true);
+        let got_a = a.device_rx().recv_timeout(Duration::from_secs(2)).unwrap();
+        let got_b = b.device_rx().recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got_a.mission, MissionId(1));
+        assert_eq!(got_b.mission, MissionId(2));
+        // A design fault in tenant A recovers without touching tenant B.
+        a.inject_fault(true);
+        a.produce(1, true);
+        assert_eq!(a.wait_for_recoveries(1, Duration::from_secs(5)), 1);
+        b.produce(1, true);
+        assert!(
+            b.device_rx().recv_timeout(Duration::from_secs(2)).is_ok(),
+            "tenant B keeps serving through tenant A's takeover"
+        );
+        let rb = b.shutdown();
+        assert_eq!(rb.software_recoveries, 0, "no takeover leaked into B");
+        let ra = a.shutdown();
+        assert_eq!(ra.software_recoveries, 1);
+        net.shutdown();
     }
 
     #[test]

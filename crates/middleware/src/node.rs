@@ -25,7 +25,7 @@ use synergy::system::{HostAction, HostEvent, ProcessHost, Topology};
 use synergy::Scheme;
 use synergy_des::SimTime;
 use synergy_mdcd::{EngineSnapshot, Event, ProcessRole, RecoveryDecision};
-use synergy_net::{Envelope, ProcessId, Transport};
+use synergy_net::{Envelope, MissionId, ProcessId, Transport};
 use synergy_storage::Stable;
 
 use crate::supervisor::SupEvent;
@@ -162,6 +162,9 @@ pub fn spawn_net_pump(pid: ProcessId, net_rx: Receiver<Envelope>, input_tx: Send
 /// The node event loop: one [`ProcessHost`] driven from an input channel
 /// against a real transport.
 pub struct NodeRunner<T: Transport, S: Stable> {
+    /// The tenant this runner serves; deliveries carrying any other tag
+    /// are discarded at the loop boundary (per-tenant isolation guard).
+    mission: MissionId,
     host: ProcessHost,
     net: Arc<T>,
     input_rx: Receiver<NodeInput>,
@@ -207,6 +210,7 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
         // Record actions at the source.
         host.set_tracing(false);
         NodeRunner {
+            mission: MissionId::SOLO,
             host,
             net,
             input_rx,
@@ -217,6 +221,16 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
             tb,
             seed,
         }
+    }
+
+    /// Assigns the runner (and its host) to a mission: outgoing traffic is
+    /// stamped with the tag and deliveries of other tenants are ignored.
+    /// Call before [`run`](Self::run).
+    #[must_use]
+    pub fn with_mission(mut self, mission: MissionId) -> Self {
+        self.mission = mission;
+        self.host.set_mission(mission);
+        self
     }
 
     /// Runs the loop until shutdown; returns the final accounting.
@@ -319,6 +333,12 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
     }
 
     fn on_envelope(&mut self, env: Envelope) {
+        // A shared transport can only misroute across tenants if a
+        // registration bug aliases two missions; the runner still never
+        // lets foreign traffic reach its engines.
+        if env.mission != self.mission {
+            return;
+        }
         if self.halted || self.dead_senders.contains(&env.from()) {
             return;
         }
@@ -408,7 +428,8 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
             NodeCmd::TakeOver => {
                 self.rollback_if_decided();
                 let plan = self.host.engine.take_over();
-                for env in plan.resend {
+                for mut env in plan.resend {
+                    env.mission = self.mission;
                     self.host.note_send(&env);
                     self.net.send(env);
                 }

@@ -47,7 +47,7 @@ pub use frame::{
 };
 pub use live::{LiveWire, WireKind};
 pub use message::{
-    CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MsgId, MsgSeqNo, ProcessId,
+    CkptSeqNo, DeviceId, Endpoint, Envelope, MessageBody, MissionId, MsgId, MsgSeqNo, ProcessId,
 };
 pub use reactor::{ReactorTransport, SendError, WirePolicy, WireStats};
 pub use sim::{LinkKey, RouteDecision, SimNetwork};

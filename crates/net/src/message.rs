@@ -20,6 +20,30 @@ impl fmt::Display for ProcessId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DeviceId(pub u32);
 
+/// Identifies one independent mission (tenant) multiplexed over a shared
+/// runtime.
+///
+/// Process and device ids are *per mission*: every mission reuses the
+/// paper's canonical `P1act`/`P1sdw`/`P2`/`D0` layout, and the mission id
+/// on each [`Envelope`] is what keeps thousands of tenants apart while
+/// they share one transport route. Single-mission deployments (the
+/// simulator, the three-process cluster) run as [`MissionId::SOLO`], whose
+/// tag encodes and displays exactly like the pre-fleet wire format's
+/// absence of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MissionId(pub u64);
+
+impl MissionId {
+    /// The implicit mission of single-tenant deployments.
+    pub const SOLO: MissionId = MissionId(0);
+}
+
+impl fmt::Display for MissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
 impl fmt::Display for DeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "D{}", self.0)
@@ -182,16 +206,28 @@ pub struct Envelope {
     pub to: Endpoint,
     /// Message body.
     pub body: MessageBody,
+    /// The mission (tenant) this envelope belongs to. Hosts stamp their
+    /// mission on everything they send; transports and routes are
+    /// mission-blind, and receivers demultiplex on this tag.
+    pub mission: MissionId,
 }
 
 impl Envelope {
-    /// Convenience constructor.
+    /// Convenience constructor for a [`MissionId::SOLO`] envelope.
     pub fn new(id: MsgId, to: impl Into<Endpoint>, body: MessageBody) -> Self {
         Envelope {
             id,
             to: to.into(),
             body,
+            mission: MissionId::SOLO,
         }
+    }
+
+    /// Tags the envelope with a mission.
+    #[must_use]
+    pub fn with_mission(mut self, mission: MissionId) -> Self {
+        self.mission = mission;
+        self
     }
 
     /// The sending process.
@@ -202,10 +238,16 @@ impl Envelope {
 
 codec_newtype!(ProcessId);
 codec_newtype!(DeviceId);
+codec_newtype!(MissionId);
 codec_newtype!(MsgSeqNo);
 codec_newtype!(CkptSeqNo);
 codec_struct!(MsgId { from, seq });
-codec_struct!(Envelope { id, to, body });
+codec_struct!(Envelope {
+    id,
+    to,
+    body,
+    mission
+});
 
 impl Codec for Endpoint {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -287,7 +329,17 @@ impl fmt::Display for Envelope {
             MessageBody::PassedAt { .. } => "passed_AT",
             MessageBody::Ack { .. } => "ack",
         };
-        write!(f, "{} {}->{} [{kind}]", self.id, self.id.from, self.to)
+        // Solo envelopes render exactly as before the fleet layer existed,
+        // keeping single-mission traces stable.
+        if self.mission == MissionId::SOLO {
+            write!(f, "{} {}->{} [{kind}]", self.id, self.id.from, self.to)
+        } else {
+            write!(
+                f,
+                "{}@{} {}->{} [{kind}]",
+                self.id, self.mission, self.id.from, self.to
+            )
+        }
     }
 }
 
@@ -348,6 +400,33 @@ mod tests {
         let text = env.to_string();
         assert!(text.contains("app(dirty)"), "{text}");
         assert!(text.contains("P1"), "{text}");
+    }
+
+    #[test]
+    fn mission_tags_roundtrip_and_solo_display_is_unchanged() {
+        let solo = Envelope::new(
+            MsgId {
+                from: ProcessId(1),
+                seq: MsgSeqNo(7),
+            },
+            ProcessId(2),
+            MessageBody::Application {
+                payload: vec![1],
+                dirty: false,
+            },
+        );
+        assert_eq!(solo.mission, MissionId::SOLO);
+        assert!(
+            !solo.to_string().contains('@'),
+            "solo envelopes must render exactly as before the fleet layer"
+        );
+        let tagged = solo.clone().with_mission(MissionId(42));
+        assert_ne!(tagged, solo, "the mission tag is part of identity");
+        assert!(tagged.to_string().contains("@M42"), "{tagged}");
+        let bytes = synergy_codec::to_bytes(&tagged).unwrap();
+        let back: Envelope = synergy_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.mission, MissionId(42));
+        assert_eq!(back, tagged);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use synergy_des::DetRng;
 
-use crate::message::{Endpoint, Envelope};
+use crate::message::{Endpoint, Envelope, MissionId};
 use crate::sim::LinkKey;
 
 struct Pending {
@@ -48,7 +48,10 @@ struct Shared {
 
 struct State {
     heap: BinaryHeap<Reverse<Pending>>,
-    endpoints: HashMap<Endpoint, Sender<Envelope>>,
+    // Registration is per (mission, endpoint): many tenants share the
+    // transport (and its per-link FIFO floors) while their deliveries stay
+    // apart. Solo deployments register under `MissionId::SOLO`.
+    endpoints: HashMap<(MissionId, Endpoint), Sender<Envelope>>,
     fifo_floor: HashMap<LinkKey, Instant>,
     next_seq: u64,
 }
@@ -111,14 +114,23 @@ impl ThreadedNet {
         }
     }
 
-    /// Registers an endpoint and returns its delivery channel.
+    /// Registers an endpoint for the solo mission and returns its delivery
+    /// channel.
     ///
     /// Re-registering an endpoint replaces the previous channel (the old
     /// receiver stops seeing new messages).
     pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        self.register_mission(MissionId::SOLO, endpoint)
+    }
+
+    /// Registers an endpoint for one mission (tenant) of a shared
+    /// deployment. Deliveries are demultiplexed on the envelope's mission
+    /// tag, so any number of missions can reuse the canonical process ids
+    /// over this one transport.
+    pub fn register_mission(&self, mission: MissionId, endpoint: Endpoint) -> Receiver<Envelope> {
         let (tx, rx) = channel();
         let mut state = self.shared.queue.lock().expect("net lock");
-        state.endpoints.insert(endpoint, tx);
+        state.endpoints.insert((mission, endpoint), tx);
         rx
     }
 
@@ -198,7 +210,7 @@ fn delivery_loop(shared: Arc<Shared>) {
                 break;
             }
             let Reverse(p) = state.heap.pop().expect("peeked entry exists");
-            if let Some(tx) = state.endpoints.get(&p.env.to) {
+            if let Some(tx) = state.endpoints.get(&(p.env.mission, p.env.to)) {
                 // A closed receiver is indistinguishable from a crashed node;
                 // drop silently.
                 let _ = tx.send(p.env);
@@ -235,6 +247,37 @@ mod tests {
                 dirty: false,
             },
         )
+    }
+
+    #[test]
+    fn missions_share_one_transport_and_demux_on_the_tag() {
+        let net = ThreadedNet::new(Duration::from_micros(10)..Duration::from_micros(50), 9);
+        let rx_a = net.register_mission(MissionId(1), ProcessId(2).into());
+        let rx_b = net.register_mission(MissionId(2), ProcessId(2).into());
+        // Interleave two tenants over the same (P1 -> P2) route.
+        for i in 0..20 {
+            net.send(env(i, i as u8).with_mission(MissionId(1 + i % 2)));
+        }
+        let drain = |rx: &Receiver<Envelope>, n: usize| -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    rx.recv_timeout(Duration::from_secs(2))
+                        .expect("delivered")
+                        .id
+                        .seq
+                        .0
+                })
+                .collect()
+        };
+        let a = drain(&rx_a, 10);
+        let b = drain(&rx_b, 10);
+        assert_eq!(a, (0..20).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(b, (0..20).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        assert!(
+            rx_a.recv_timeout(Duration::from_millis(20)).is_err(),
+            "no cross-tenant leakage"
+        );
+        net.shutdown();
     }
 
     #[test]

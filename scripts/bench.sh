@@ -36,6 +36,14 @@ BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
     BENCH_WIRE_FRAMES="${BENCH_WIRE_FRAMES:-}" \
     cargo bench -q --bench wire
 
+# Fleet scaling: missions/s and latency percentiles at 1/100/1k/10k
+# tenants multiplexed over one shared runtime. Appends to the same
+# record's "fleet" section. BENCH_FLEET_TENANTS caps the largest scale —
+# check.sh smokes it small.
+BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
+    BENCH_FLEET_TENANTS="${BENCH_FLEET_TENANTS:-}" \
+    cargo bench -q --bench fleet
+
 # Optional: wall-clock a small deterministic chaos sweep against the live
 # three-process cluster. Machines without the cluster binaries (a
 # bench-only checkout, or a target dir built before the chaos crate

@@ -25,14 +25,20 @@ echo "==> chaos smoke: legacy thread-per-route transport"
 # remains the migration fallback.
 ./target/release/synergy-chaos --seeds 2 --base-seed 7 --jobs 2 --transport threads
 
+echo "==> fleet smoke: 100 seeded tenants, 4 verified against solo runs"
+# Deterministic: seeded missions, and --verify re-runs a sample of tenants
+# as standalone simulator missions and diffs device streams byte-for-byte.
+./target/release/synergy-fleet --tenants 100 --seed 7 --duration-secs 30 --verify 4 > /dev/null
+
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run -q
 
-echo "==> bench.sh smoke (1 sample, small wire run, throwaway record)"
+echo "==> bench.sh smoke (1 sample, small wire and fleet runs, throwaway record)"
 smoke_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$smoke_json"' EXIT
-BENCH_WIRE_FRAMES=2000 scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
+BENCH_WIRE_FRAMES=2000 BENCH_FLEET_TENANTS=100 scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
 grep -q '"ms_per_mission"' "$smoke_json"
 grep -q '"wire"' "$smoke_json"
+grep -q '"fleet"' "$smoke_json"
 
 echo "OK: fmt, clippy, tier-1 and bench smoke all passed"
