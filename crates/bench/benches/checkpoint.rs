@@ -1,0 +1,218 @@
+//! Checkpoint-format benchmark: stable-write bytes per round and reload
+//! (recovery) time for the legacy full-image store against the delta
+//! chain at k ∈ {1, 4, 16}, on a large-state mission — a 1 MiB state
+//! image of which each round dirties ~4 KiB, the shape the incremental
+//! format exists for (DESIGN.md §14).
+//!
+//! Every configuration commits the same checkpoint sequence through the
+//! real two-phase disk store, then reopens the directory cold and walks
+//! the chain back, asserting byte-identical reconstruction before timing
+//! is trusted.
+//!
+//! A plain timing harness (`harness = false`).
+//!
+//! Environment knobs (all optional, used by `scripts/bench.sh`):
+//!
+//! - `BENCH_CHECKPOINT_ROUNDS`: committed rounds per configuration
+//!   (default 64).
+//! - `BENCH_CHECKPOINT_STATE_KIB`: state-image size (default 1024).
+//! - `BENCH_JSON`: path of the JSON regression record; the run is
+//!   appended to its `"checkpoint"` section.
+//! - `BENCH_LABEL`, `BENCH_GIT_REV`: label and revision stored with the run.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use synergy_archive::DeltaStable;
+use synergy_bench::record::{sanitize, BenchRecord};
+use synergy_des::SimTime;
+use synergy_storage::{Checkpoint, DiskStableStore, Stable};
+
+/// Dirty bytes per round: one page-sized region at a round-dependent
+/// offset, so consecutive states differ in exactly one small window.
+const DIRTY_BYTES: usize = 4096;
+
+fn env_or(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("synergy-bench-ckpt-{}-{tag}", std::process::id()))
+}
+
+/// Mutates one 4 KiB window of the state for `round`, offset striding so
+/// successive rounds never touch the same page.
+fn mutate(state: &mut [u8], round: u64) {
+    let pages = (state.len() / DIRTY_BYTES).max(1) as u64;
+    let offset = ((round * 37) % pages) as usize * DIRTY_BYTES;
+    let end = (offset + DIRTY_BYTES).min(state.len());
+    for (i, b) in state[offset..end].iter_mut().enumerate() {
+        *b = (round as u8).wrapping_add(i as u8);
+    }
+}
+
+struct ConfigResult {
+    /// `0` is the legacy full-image store.
+    k: u32,
+    bytes_per_round: f64,
+    recover_ms: f64,
+}
+
+/// Commits `rounds` checkpoints of the evolving state through the given
+/// store shape, measures persisted bytes per round, then reopens the
+/// directory cold and times the reload (chain walk + reconstruction),
+/// asserting the recovered image matches the final state byte-for-byte.
+fn bench_config(k: u32, rounds: u64, state_bytes: usize) -> ConfigResult {
+    let dir = bench_dir(&format!("k{k}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let retain = rounds as usize + 1;
+    let mut state = vec![0u8; state_bytes];
+
+    let commit_all = |store: &mut dyn Stable, state: &mut Vec<u8>| -> Checkpoint {
+        let mut last = None;
+        for round in 1..=rounds {
+            mutate(state, round);
+            let ckpt = Checkpoint::encode(round, SimTime::from_nanos(round), "bench", state)
+                .expect("encode checkpoint");
+            store.begin_write(ckpt.clone()).expect("begin");
+            store.commit_write().expect("commit");
+            last = Some(ckpt);
+        }
+        last.expect("at least one round")
+    };
+
+    let (bytes_per_round, final_ckpt) = if k == 0 {
+        let mut store = DiskStableStore::open_with_retention(&dir, retain).expect("open disk");
+        let last = commit_all(&mut store, &mut state);
+        // The legacy store persists the full image every round.
+        (last.size_bytes() as f64, last)
+    } else {
+        let disk = DiskStableStore::open_with_retention(&dir, retain).expect("open disk");
+        let mut store = DeltaStable::open_with_retention(disk, k, retain);
+        let last = commit_all(&mut store, &mut state);
+        let ds = store.delta_stats();
+        (ds.encoded_bytes as f64 / rounds as f64, last)
+    };
+
+    // Cold reload: reopen the directory and rebuild the latest image.
+    let started = Instant::now();
+    let recovered = if k == 0 {
+        let store = DiskStableStore::open_with_retention(&dir, retain).expect("reopen disk");
+        store.latest_shared()
+    } else {
+        let disk = DiskStableStore::open_with_retention(&dir, retain).expect("reopen disk");
+        let store = DeltaStable::open_with_retention(disk, k, retain);
+        assert_eq!(store.delta_stats().chain_orphans, 0, "chain intact");
+        store.latest_shared()
+    };
+    let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovered.expect("a committed checkpoint survives"),
+        final_ckpt,
+        "recovery must be byte-identical before its timing is trusted"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ConfigResult {
+        k,
+        bytes_per_round,
+        recover_ms,
+    }
+}
+
+fn config_key(k: u32) -> String {
+    if k == 0 {
+        "full".to_string()
+    } else {
+        format!("delta_k{k}")
+    }
+}
+
+fn run_json(
+    label: &str,
+    git_rev: Option<&str>,
+    rounds: u64,
+    state_bytes: usize,
+    results: &[ConfigResult],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "        \"label\": \"{}\",", sanitize(label));
+    if let Some(rev) = git_rev {
+        let _ = writeln!(s, "        \"git_rev\": \"{}\",", sanitize(rev));
+    }
+    let _ = writeln!(s, "        \"rounds\": {rounds},");
+    let _ = writeln!(s, "        \"state_bytes\": {state_bytes},");
+    let _ = writeln!(s, "        \"dirty_bytes_per_round\": {DIRTY_BYTES},");
+    let _ = writeln!(s, "        \"configs\": {{");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "          \"{}\": {{ \"bytes_per_round\": {:.0}, \"recover_ms\": {:.3} }}{comma}",
+            config_key(r.k),
+            r.bytes_per_round,
+            r.recover_ms,
+        );
+    }
+    let _ = writeln!(s, "        }},");
+    let full = &results[0];
+    let best = results.last().expect("at least one config");
+    let _ = writeln!(
+        s,
+        "        \"write_reduction_at_k{}\": {:.1}",
+        best.k,
+        full.bytes_per_round / best.bytes_per_round.max(1.0),
+    );
+    let _ = write!(s, "      }}");
+    s
+}
+
+fn main() {
+    let rounds = env_or("BENCH_CHECKPOINT_ROUNDS", 64);
+    let state_bytes = env_or("BENCH_CHECKPOINT_STATE_KIB", 1024) as usize * 1024;
+
+    let mut results = Vec::new();
+    for k in [0u32, 1, 4, 16] {
+        let r = bench_config(k, rounds, state_bytes);
+        println!(
+            "checkpoint/{}: {:.0} bytes/round, cold recovery {:.3} ms ({} rounds, {} KiB state)",
+            config_key(r.k),
+            r.bytes_per_round,
+            r.recover_ms,
+            rounds,
+            state_bytes / 1024,
+        );
+        results.push(r);
+    }
+    let full = results[0].bytes_per_round;
+    let k16 = results.last().expect("k=16 ran").bytes_per_round;
+    println!(
+        "checkpoint: stable-write volume down {:.1}x at k=16 vs full-image",
+        full / k16.max(1.0)
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
+        let git_rev = std::env::var("BENCH_GIT_REV").ok();
+        let mut record = BenchRecord::load(&path);
+        let replaced = record.push_checkpoint_run(&run_json(
+            &label,
+            git_rev.as_deref(),
+            rounds,
+            state_bytes,
+            &results,
+        ));
+        record.save(&path);
+        if replaced > 0 {
+            println!("checkpoint record appended to {path} (replaced {replaced} same-rev run)");
+        } else {
+            println!("checkpoint record appended to {path}");
+        }
+    }
+}

@@ -108,6 +108,8 @@ pub struct BenchRecord {
     pub wire_runs: Vec<String>,
     /// Objects of the `"fleet"` section's `"runs"` array.
     pub fleet_runs: Vec<String>,
+    /// Objects of the `"checkpoint"` section's `"runs"` array.
+    pub checkpoint_runs: Vec<String>,
 }
 
 /// The marker opening the wire section. [`sanitize`] guarantees no string
@@ -117,6 +119,9 @@ const WIRE_KEY: &str = "\"wire\": {";
 /// The marker opening the fleet section; always rendered after the wire
 /// section (when both exist).
 const FLEET_KEY: &str = "\"fleet\": {";
+
+/// The marker opening the checkpoint section; always rendered last.
+const CHECKPOINT_KEY: &str = "\"checkpoint\": {";
 
 impl BenchRecord {
     /// Loads the record at `path`; a missing or unreadable file is an
@@ -129,9 +134,13 @@ impl BenchRecord {
 
     /// Parses a rendered record.
     pub fn parse(record: &str) -> BenchRecord {
-        let (rest, fleet_part) = match record.find(FLEET_KEY) {
+        let (rest, checkpoint_part) = match record.find(CHECKPOINT_KEY) {
             Some(pos) => record.split_at(pos),
             None => (record, ""),
+        };
+        let (rest, fleet_part) = match rest.find(FLEET_KEY) {
+            Some(pos) => rest.split_at(pos),
+            None => (rest, ""),
         };
         let (mission_part, wire_part) = match rest.find(WIRE_KEY) {
             Some(pos) => rest.split_at(pos),
@@ -141,6 +150,7 @@ impl BenchRecord {
             mission_runs: array_objects(mission_part, "\"runs\": ["),
             wire_runs: array_objects(wire_part, "\"runs\": ["),
             fleet_runs: array_objects(fleet_part, "\"runs\": ["),
+            checkpoint_runs: array_objects(checkpoint_part, "\"runs\": ["),
         }
     }
 
@@ -162,14 +172,24 @@ impl BenchRecord {
         push_dedup(&mut self.fleet_runs, run)
     }
 
-    /// Renders the full record. The `"wire"` and `"fleet"` sections are
-    /// omitted while they have no runs, so mission-only records keep their
-    /// historical shape.
+    /// Appends a checkpoint run, replacing any prior run of the same
+    /// `git_rev`; returns how many runs were replaced.
+    pub fn push_checkpoint_run(&mut self, run: &str) -> usize {
+        push_dedup(&mut self.checkpoint_runs, run)
+    }
+
+    /// Renders the full record. The `"wire"`, `"fleet"` and `"checkpoint"`
+    /// sections are omitted while they have no runs, so mission-only
+    /// records keep their historical shape.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"bench\": \"missions\",\n  \"runs\": [\n");
         render_runs(&mut out, &self.mission_runs, "    ");
         out.push_str("  ]");
-        for (key, runs) in [(WIRE_KEY, &self.wire_runs), (FLEET_KEY, &self.fleet_runs)] {
+        for (key, runs) in [
+            (WIRE_KEY, &self.wire_runs),
+            (FLEET_KEY, &self.fleet_runs),
+            (CHECKPOINT_KEY, &self.checkpoint_runs),
+        ] {
             if runs.is_empty() {
                 continue;
             }
@@ -213,11 +233,31 @@ mod tests {
         rec.push_mission_run(&run("m2", Some("bbb")));
         rec.push_wire_run(&run("w1", Some("aaa")));
         rec.push_fleet_run(&run("f1", Some("aaa")));
+        rec.push_checkpoint_run(&run("c1", Some("aaa")));
         let back = BenchRecord::parse(&rec.render());
         assert_eq!(back.mission_runs.len(), 2);
         assert_eq!(back.wire_runs.len(), 1);
         assert_eq!(back.fleet_runs.len(), 1);
+        assert_eq!(back.checkpoint_runs.len(), 1);
         assert_eq!(BenchRecord::parse(&back.render()), back);
+    }
+
+    #[test]
+    fn checkpoint_runs_stay_out_of_the_other_sections() {
+        let mut rec = BenchRecord::default();
+        rec.push_fleet_run(&run("f", Some("aaa")));
+        rec.push_checkpoint_run(&run("c", Some("aaa")));
+        let back = BenchRecord::parse(&rec.render());
+        assert_eq!(back.fleet_runs.len(), 1);
+        assert_eq!(back.checkpoint_runs.len(), 1);
+        assert!(back.checkpoint_runs[0].contains("\"label\": \"c\""));
+        // A checkpoint-only record (no wire or fleet section) parses too.
+        let mut solo = BenchRecord::default();
+        solo.push_checkpoint_run(&run("only", Some("bbb")));
+        let back = BenchRecord::parse(&solo.render());
+        assert_eq!(back.checkpoint_runs.len(), 1);
+        assert!(back.mission_runs.is_empty());
+        assert!(back.fleet_runs.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!               [--data-root <path>] [--node-bin <path>]
 //!               [--transport reactor|threads]
 //!               [--no-link] [--no-disk] [--no-crash] [--no-bitrot]
+//!               [--no-deltarot] [--no-archive]
 //! ```
 //!
 //! Exit status is nonzero iff any campaign diverged or aborted. There is
@@ -63,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
             "--no-disk" => out.toggles.disk = false,
             "--no-crash" => out.toggles.crash = false,
             "--no-bitrot" => out.toggles.bitrot = false,
+            "--no-deltarot" => out.toggles.deltarot = false,
+            "--no-archive" => out.toggles.archive = false,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -113,13 +116,15 @@ fn print_result(index: u64, r: &CampaignResult) {
         .as_ref()
         .map(|f| {
             format!(
-                "drops={} dups={} lost={} retries={} torn={} corrupt={} rollbacks={:?}",
+                "drops={} dups={} lost={} retries={} torn={} corrupt={} uploads={} rehydrated={} rollbacks={:?}",
                 f.chaos_drops,
                 f.chaos_dups,
                 f.chaos_lost,
                 f.stable_retries,
                 f.torn_writes,
                 f.corrupt_records,
+                f.archive_uploads,
+                f.rehydrated,
                 f.rollback_epochs
             )
         })

@@ -73,6 +73,12 @@ pub struct FaultSummary {
     pub recoveries: u64,
     /// Rollback distance of each recovery, in grid epochs.
     pub rollback_epochs: Vec<u64>,
+    /// Checkpoint objects uploaded to the archive tier (all nodes).
+    pub archive_uploads: u64,
+    /// Archive PUTs that failed and were retried.
+    pub archive_failures: u64,
+    /// Records rehydrated from the archive after a wiped disk.
+    pub rehydrated: u64,
 }
 
 /// Aggregates the fault counters of a finished mission: chaos wire and
@@ -86,6 +92,9 @@ pub fn fault_summary(report: &ClusterReport) -> FaultSummary {
         s.chaos_dups += status.chaos_dups;
         s.chaos_lost += status.chaos_lost;
         s.stable_retries += status.stable_retries;
+        s.archive_uploads += status.archive_uploads;
+        s.archive_failures += status.archive_failures;
+        s.rehydrated += status.rehydrated;
     }
     for kill in &report.kills {
         s.torn_writes += kill.reload_torn_writes;
@@ -122,6 +131,10 @@ fn cluster_config(spec: &CampaignSpec, node_bin: &Path, run_dir: PathBuf) -> Clu
     cfg.link_plan = spec.link.clone();
     cfg.disk_plans = spec.disk.clone();
     cfg.bitrot = spec.bitrot;
+    cfg.delta_k = spec.delta_k;
+    cfg.archive_plans = spec.archive.clone();
+    cfg.wipe = spec.wipe;
+    cfg.deltarot = spec.deltarot;
     cfg.transport = spec.transport;
     cfg
 }
@@ -193,10 +206,12 @@ pub fn run_campaign(spec: &CampaignSpec, node_bin: &Path, data_root: &Path) -> C
 }
 
 /// Greedily shrinks a failing campaign: tries to drop each fault group
-/// (link → disk → bit-rot → crash) and keeps any removal that still
-/// reproduces a failure, returning the minimal spec and its outcome.
+/// (link → disk → bit-rot → chain-rot → archive → crash) and keeps any
+/// removal that still reproduces a failure, returning the minimal spec
+/// and its outcome. The delta cadence is mission shape, not a fault
+/// group, so a delta-mode failure shrinks while staying in delta mode.
 ///
-/// At most four re-runs — bounded, like everything else in the runner.
+/// At most six re-runs — bounded, like everything else in the runner.
 pub fn shrink_failure(
     spec: &CampaignSpec,
     failing_outcome: &CampaignOutcome,
@@ -206,10 +221,12 @@ pub fn shrink_failure(
     let mut current = spec.clone();
     let mut outcome = failing_outcome.clone();
     type Removal = (&'static str, fn(&mut CampaignSpec));
-    let removals: [Removal; 4] = [
+    let removals: [Removal; 6] = [
         ("link", CampaignSpec::disable_link),
         ("disk", CampaignSpec::disable_disk),
         ("bitrot", CampaignSpec::disable_bitrot),
+        ("deltarot", CampaignSpec::disable_deltarot),
+        ("archive", CampaignSpec::disable_archive),
         ("crash", CampaignSpec::disable_crash),
     ];
     for (group, remove) in removals {
@@ -218,6 +235,8 @@ pub fn shrink_failure(
             "link" => toggles.link,
             "disk" => toggles.disk,
             "bitrot" => toggles.bitrot,
+            "deltarot" => toggles.deltarot,
+            "archive" => toggles.archive,
             _ => toggles.crash,
         };
         if !active {
@@ -256,6 +275,10 @@ mod tests {
             stable_retries: retries,
             corrupt_records: 0,
             backpressure: 0,
+            archive_pending: 0,
+            archive_uploads: 2,
+            archive_failures: 1,
+            rehydrated: 5,
         }
     }
 
@@ -270,6 +293,7 @@ mod tests {
                 reload_epoch: Some(1),
                 reload_torn_writes: 1,
                 reload_corrupt_records: 1,
+                wiped: false,
                 line: 1,
                 rollback_epochs: 1,
                 rollbacks: vec![(1, Some(1), 0), (2, Some(1), 0), (3, Some(1), 0)],
@@ -285,6 +309,9 @@ mod tests {
         assert_eq!(s.corrupt_records, 1);
         assert_eq!(s.recoveries, 1);
         assert_eq!(s.rollback_epochs, vec![1]);
+        assert_eq!(s.archive_uploads, 6);
+        assert_eq!(s.archive_failures, 3);
+        assert_eq!(s.rehydrated, 15);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! for negative tests, not for the byte-identical sweep.
 
 use synergy::NodeId;
+use synergy_archive::{ArchiveFaultPlan, OutageWindow};
 use synergy_cluster::{CrashEvent, CrashKind};
 use synergy_des::DetRng;
 use synergy_net::{LinkFaultPlan, LinkFaults, PartitionWindow, WireKind};
@@ -37,6 +38,11 @@ pub struct CampaignToggles {
     pub crash: bool,
     /// Read-back bit-rot in the victim's checkpoint directory.
     pub bitrot: bool,
+    /// Chain-link rot in the victim's delta chain (delta-mode campaigns).
+    pub deltarot: bool,
+    /// Archive-tier faults: object-store outages, PUT failures, and the
+    /// wiped-disk rehydration axis (delta-mode campaigns).
+    pub archive: bool,
 }
 
 impl Default for CampaignToggles {
@@ -46,6 +52,8 @@ impl Default for CampaignToggles {
             disk: true,
             crash: true,
             bitrot: true,
+            deltarot: true,
+            archive: true,
         }
     }
 }
@@ -71,6 +79,18 @@ pub struct CampaignSpec {
     pub disk: Vec<DiskFaultPlan>,
     /// Whether to flip a bit in the victim's oldest committed record.
     pub bitrot: bool,
+    /// Delta-chain cadence: full image every `delta_k` rounds, dirty-region
+    /// deltas between. Zero keeps the legacy full-image store. Mission
+    /// shape, not a fault: the shrinker never removes it.
+    pub delta_k: u32,
+    /// Whether to corrupt a chain record behind a valid disk frame on the
+    /// victim's restart, so only chain-link verification can refuse it.
+    pub deltarot: bool,
+    /// Per-node archive-tier fault plans (delta-mode campaigns only).
+    pub archive: Vec<ArchiveFaultPlan>,
+    /// Whether the victim's whole data directory is wiped at the kill,
+    /// forcing a full rehydration from the archive tier.
+    pub wipe: bool,
     /// Which live-wire transport the cluster's nodes run. Not part of the
     /// fault cocktail: the campaign must converge byte-identically on
     /// either wire, which is exactly what the sweep checks.
@@ -164,10 +184,65 @@ impl CampaignSpec {
             disk.push(plan);
         }
 
+        // Delta-chain cadence: most campaigns exercise the delta store,
+        // with k spanning all-full (1), mixed (2, 4), and legacy (0).
+        let mut delta_rng = root.stream_indexed("campaign-delta", index);
+        let delta_k = [0u32, 1, 2, 4][delta_rng.gen_range(0u64..4) as usize];
+
+        // Archive-tier axis (delta mode only): at most one of an outage
+        // window, PUT faults, or a wiped-disk rehydration, always on the
+        // crash victim so the injection composes with the kill schedule.
+        let mut archive_rng = root.stream_indexed("campaign-archive", index);
+        let mut archive = vec![ArchiveFaultPlan::inert(); NodeId::ALL.len()];
+        let mut wipe = false;
+        if delta_k > 0 {
+            match archive_rng.gen_range(0u64..4) {
+                0 => {
+                    // Outage closing well before the 30 s quiesce deadline;
+                    // the upload queue retries through it.
+                    let start_ms = archive_rng.gen_range(200u64..=1500);
+                    let len_ms = archive_rng.gen_range(300u64..=800);
+                    archive[2] = ArchiveFaultPlan {
+                        seed: archive_rng.next_u64(),
+                        outages: vec![OutageWindow {
+                            start_ms,
+                            end_ms: start_ms + len_ms,
+                        }],
+                        ..ArchiveFaultPlan::inert()
+                    };
+                }
+                1 => {
+                    // PUT faults under the upload queue's retry budget;
+                    // partial PUTs are dropped by the object CRC on read.
+                    archive[2] = ArchiveFaultPlan {
+                        seed: archive_rng.next_u64(),
+                        put_fail: archive_rng.next_f64() * 0.3,
+                        put_partial: archive_rng.next_f64() * 0.3,
+                        latency_ms: archive_rng.gen_range(0u64..=10),
+                        ..ArchiveFaultPlan::inert()
+                    };
+                }
+                2 => wipe = crash.is_some(),
+                _ => {}
+            }
+        }
+
         // Bit-rot needs the victim to hold ≥ 2 committed records at the
         // kill (epoch ≥ 3 commits epochs 1..=epoch−1 first), so the CRC
         // skip hits the oldest record and never moves the epoch line.
-        let bitrot = crash.is_some_and(|c| c.epoch >= 3);
+        // Legacy store only: in delta mode a frame-level skip can orphan
+        // the whole delta suffix and move the epoch line, which is what
+        // chain-aware delta-rot covers instead.
+        let bitrot = delta_k == 0 && crash.is_some_and(|c| c.epoch >= 3);
+
+        // Delta-rot corrupts the oldest record *behind* a valid disk
+        // frame; the injector keeps the restore target replayable by
+        // requiring an intact full image later in the chain. The next
+        // full lands at seq 1+k, committed once epoch ≥ k+2 — below
+        // that the injector would refuse, so don't schedule it. A wipe
+        // supersedes it: there is no chain left to rot.
+        let deltarot =
+            delta_k > 0 && !wipe && crash.is_some_and(|c| c.epoch >= u64::from(delta_k) + 2);
 
         let mut spec = CampaignSpec {
             seed: base_seed.wrapping_add(index),
@@ -178,6 +253,10 @@ impl CampaignSpec {
             link,
             disk,
             bitrot,
+            delta_k,
+            deltarot,
+            archive,
+            wipe,
             transport: WireKind::default(),
         };
         if !toggles.link {
@@ -188,6 +267,12 @@ impl CampaignSpec {
         }
         if !toggles.bitrot {
             spec.disable_bitrot();
+        }
+        if !toggles.deltarot {
+            spec.disable_deltarot();
+        }
+        if !toggles.archive {
+            spec.disable_archive();
         }
         if !toggles.crash {
             spec.disable_crash();
@@ -212,11 +297,28 @@ impl CampaignSpec {
         self.bitrot = false;
     }
 
-    /// Removes the scheduled crash (and with it the bit-rot, which rides
-    /// on the victim's restart).
+    /// Removes the chain-rot injection.
+    pub fn disable_deltarot(&mut self) {
+        self.deltarot = false;
+    }
+
+    /// Removes the archive-tier fault group: object-store fault plans and
+    /// the wiped-disk rehydration. The delta cadence itself stays — it is
+    /// mission shape, not a fault.
+    pub fn disable_archive(&mut self) {
+        for plan in &mut self.archive {
+            *plan = ArchiveFaultPlan::inert();
+        }
+        self.wipe = false;
+    }
+
+    /// Removes the scheduled crash (and with it the bit-rot, chain-rot,
+    /// and wipe, which all ride on the victim's restart).
     pub fn disable_crash(&mut self) {
         self.crash = None;
         self.bitrot = false;
+        self.deltarot = false;
+        self.wipe = false;
     }
 
     /// Which fault groups the spec still carries, for shrink ordering.
@@ -226,6 +328,8 @@ impl CampaignSpec {
             disk: self.disk.iter().any(|p| !p.is_inert()),
             crash: self.crash.is_some(),
             bitrot: self.bitrot,
+            deltarot: self.deltarot,
+            archive: self.wipe || self.archive.iter().any(|p| !p.is_inert()),
         }
     }
 
@@ -247,8 +351,24 @@ impl CampaignSpec {
         }
         let disk_faults: usize = self.disk.iter().map(|p| p.faults.len()).sum();
         parts.push(format!("disk:{disk_faults}"));
+        if self.delta_k > 0 {
+            parts.push(format!("delta-k{}", self.delta_k));
+        }
         if self.bitrot {
             parts.push("bitrot".to_string());
+        }
+        if self.deltarot {
+            parts.push("deltarot".to_string());
+        }
+        if self.wipe {
+            parts.push("wipe".to_string());
+        } else if self.archive.iter().any(|p| !p.is_inert()) {
+            let outage = self.archive.iter().any(|p| !p.outages.is_empty());
+            parts.push(if outage {
+                "archive:outage".to_string()
+            } else {
+                "archive:puts".to_string()
+            });
         }
         if self.internal_traffic {
             parts.push("acked-traffic".to_string());
@@ -313,6 +433,28 @@ mod tests {
             }
             if spec.bitrot {
                 assert!(crash.epoch >= 3, "bit-rot only with ≥ 2 committed records");
+                assert_eq!(
+                    spec.delta_k, 0,
+                    "frame-level bit-rot is a legacy-store axis"
+                );
+            }
+            assert!([0, 1, 2, 4].contains(&spec.delta_k));
+            if spec.deltarot {
+                assert!(spec.delta_k > 0, "chain-rot needs a chain");
+                assert!(!spec.wipe, "a wipe supersedes chain-rot");
+                assert!(
+                    crash.epoch >= u64::from(spec.delta_k) + 2,
+                    "chain-rot needs a committed full image after the rotted record"
+                );
+            }
+            if spec.wipe || spec.archive.iter().any(|p| !p.is_inert()) {
+                assert!(spec.delta_k > 0, "archive axes need the tiered store");
+            }
+            for plan in &spec.archive {
+                assert!(plan.put_fail < 0.3 && plan.put_partial < 0.3);
+                for w in &plan.outages {
+                    assert!(w.start_ms >= 200 && w.end_ms <= 2300, "outage closes early");
+                }
             }
             spec.link.validate();
         }
@@ -329,14 +471,36 @@ mod tests {
                 disk: false,
                 crash: false,
                 bitrot: false,
+                deltarot: false,
+                archive: false,
             },
         );
         assert_eq!(bare.steps, full.steps, "mission shape preserved");
         assert_eq!(bare.seed, full.seed);
+        assert_eq!(bare.delta_k, full.delta_k, "the cadence is mission shape");
         assert!(bare.link.is_inert());
         assert!(bare.disk.iter().all(|p| p.is_inert()));
         assert!(bare.crash.is_none());
         assert!(!bare.bitrot);
+        assert!(!bare.deltarot);
+        assert!(!bare.wipe);
+        assert!(bare.archive.iter().all(|p| p.is_inert()));
+    }
+
+    #[test]
+    fn the_sweep_exercises_every_new_axis() {
+        let mut saw = (false, false, false, false);
+        for index in 0..64 {
+            let spec = CampaignSpec::generate(99, index, CampaignToggles::default());
+            saw.0 |= spec.delta_k > 0;
+            saw.1 |= spec.deltarot;
+            saw.2 |= spec.wipe;
+            saw.3 |= spec.archive.iter().any(|p| !p.is_inert());
+        }
+        assert!(saw.0, "some campaigns run the delta chain");
+        assert!(saw.1, "some campaigns rot a chain record");
+        assert!(saw.2, "some campaigns wipe the victim's disk");
+        assert!(saw.3, "some campaigns fault the archive tier");
     }
 
     #[test]
@@ -358,5 +522,9 @@ mod tests {
         spec.disable_crash();
         assert!(!spec.active_toggles().crash);
         assert!(!spec.active_toggles().bitrot, "bit-rot rides on the crash");
+        assert!(
+            !spec.active_toggles().deltarot,
+            "chain-rot rides on the crash"
+        );
     }
 }

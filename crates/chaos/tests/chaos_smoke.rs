@@ -58,6 +58,8 @@ fn fault_free_campaign_converges() {
             disk: false,
             crash: false,
             bitrot: false,
+            deltarot: false,
+            archive: false,
         },
     );
     let result = run_campaign(&spec, &node_bin(), &data_root);

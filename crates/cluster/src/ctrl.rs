@@ -153,6 +153,16 @@ pub struct WireStatus {
     /// backpressured past the bounded retry budget. Nonzero means a frame
     /// was lost on a live route — the campaign cannot converge.
     pub backpressure: u64,
+    /// Committed checkpoint records still waiting in the archive upload
+    /// queue (zero when the archive tier is off or drained).
+    pub archive_pending: u64,
+    /// Checkpoint records successfully uploaded to the archive tier.
+    pub archive_uploads: u64,
+    /// Failed archive upload attempts (each is retried with backoff).
+    pub archive_failures: u64,
+    /// Checkpoint records rehydrated from the archive tier at boot because
+    /// the local disk tier was empty (a wiped node).
+    pub rehydrated: u64,
 }
 
 synergy_codec::codec_struct!(WireStatus {
@@ -171,6 +181,10 @@ synergy_codec::codec_struct!(WireStatus {
     stable_retries,
     corrupt_records,
     backpressure,
+    archive_pending,
+    archive_uploads,
+    archive_failures,
+    rehydrated,
 });
 
 impl Codec for CtrlMsg {
@@ -405,6 +419,10 @@ mod tests {
             stable_retries: 2,
             corrupt_records: 0,
             backpressure: 0,
+            archive_pending: 4,
+            archive_uploads: 9,
+            archive_failures: 1,
+            rehydrated: 0,
         }));
         roundtrip(CtrlReply::Blasted {
             sent: 3990,

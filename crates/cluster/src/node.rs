@@ -39,6 +39,10 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use synergy_archive::{
+    ArchiveFaultPlan, ArchiveHandle, DeltaStable, DirObjectStore, FaultyObjectStore,
+    MemObjectStore, ObjectStore, TieredStore,
+};
 use synergy_clocks::SyncParams;
 use synergy_codec::Codec;
 use synergy_des::SimDuration;
@@ -47,7 +51,9 @@ use synergy_net::{
     Endpoint, Envelope, FaultyTransport, LinkFaultPlan, LiveWire, MessageBody, MsgId, MsgSeqNo,
     ProcessId, SendError, Transport, WireKind, WirePolicy,
 };
-use synergy_storage::{DiskFaultPlan, DiskStableStore, FaultyStable, Stable};
+use synergy_storage::{
+    Checkpoint, DiskFaultPlan, DiskStableStore, FaultyStable, Stable, StableStats, StableWriteError,
+};
 use synergy_tb::{TbConfig, TbVariant};
 
 use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
@@ -75,6 +81,16 @@ pub struct NodeOpts {
     /// Override for the reactor's per-route ring capacity
     /// (`--wire-queue-bytes`); `None` keeps the policy default.
     pub wire_queue_bytes: Option<usize>,
+    /// Incremental-checkpoint cadence: full image every `delta_k` stable
+    /// commits, CRC-chained deltas between (`--delta-k`). Zero keeps the
+    /// legacy full-image-every-commit store.
+    pub delta_k: u32,
+    /// Directory backing this node's archive tier (`--archive-dir`). Only
+    /// meaningful with `--delta-k`; when absent the archive tier is an
+    /// in-process object store that dies with the incarnation.
+    pub archive_dir: Option<PathBuf>,
+    /// Fault plan applied to the archive tier (`--chaos-archive`).
+    pub archive_plan: ArchiveFaultPlan,
 }
 
 /// Encodes a codec value as lowercase hex for command-line transport.
@@ -120,6 +136,9 @@ impl NodeOpts {
         let mut disk_plan = DiskFaultPlan::default();
         let mut transport = WireKind::default();
         let mut wire_queue_bytes = None;
+        let mut delta_k = 0u32;
+        let mut archive_dir = None;
+        let mut archive_plan = ArchiveFaultPlan::default();
         while let Some(flag) = args.next() {
             let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
             match flag.as_str() {
@@ -132,6 +151,9 @@ impl NodeOpts {
                 }
                 "--chaos-link" => link_plan = plan_from_hex(&value()?)?,
                 "--chaos-disk" => disk_plan = plan_from_hex(&value()?)?,
+                "--chaos-archive" => archive_plan = plan_from_hex(&value()?)?,
+                "--delta-k" => delta_k = value()?.parse::<u32>().map_err(|e| e.to_string())?,
+                "--archive-dir" => archive_dir = Some(PathBuf::from(value()?)),
                 "--transport" => transport = value()?.parse()?,
                 "--wire-queue-bytes" => {
                     wire_queue_bytes = Some(value()?.parse::<usize>().map_err(|e| e.to_string())?);
@@ -149,8 +171,116 @@ impl NodeOpts {
             disk_plan,
             transport,
             wire_queue_bytes,
+            delta_k,
+            archive_dir,
+            archive_plan,
         })
     }
+}
+
+/// How many committed records the delta-mode disk tier retains. Must cover
+/// `retain + k - 1` chain records so no retained delta ever loses its base
+/// full image, plus the rollback span the orchestrator may command.
+const DELTA_DISK_RETAIN: usize = 64;
+
+/// The node's stable store: either the legacy full-image disk store or the
+/// delta-chain layer over the tiered (disk + archive) store. An enum rather
+/// than a trait object because [`TbRuntime`] owns the store by value.
+#[derive(Debug)]
+pub enum NodeStore {
+    /// Full-image checkpoints straight to the local disk store.
+    Legacy(DiskStableStore),
+    /// CRC-chained delta checkpoints over the disk + archive tiers.
+    Delta(Box<DeltaStable<TieredStore>>),
+}
+
+impl Stable for NodeStore {
+    fn begin_write(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        match self {
+            NodeStore::Legacy(s) => s.begin_write(checkpoint),
+            NodeStore::Delta(s) => s.begin_write(checkpoint),
+        }
+    }
+
+    fn replace_in_progress(&mut self, checkpoint: Checkpoint) -> Result<(), StableWriteError> {
+        match self {
+            NodeStore::Legacy(s) => s.replace_in_progress(checkpoint),
+            NodeStore::Delta(s) => s.replace_in_progress(checkpoint),
+        }
+    }
+
+    fn commit_write(&mut self) -> Result<(), StableWriteError> {
+        match self {
+            NodeStore::Legacy(s) => s.commit_write(),
+            NodeStore::Delta(s) => s.commit_write(),
+        }
+    }
+
+    fn abort_write(&mut self) -> bool {
+        match self {
+            NodeStore::Legacy(s) => s.abort_write(),
+            NodeStore::Delta(s) => s.abort_write(),
+        }
+    }
+
+    fn crash(&mut self) {
+        match self {
+            NodeStore::Legacy(s) => s.crash(),
+            NodeStore::Delta(s) => s.crash(),
+        }
+    }
+
+    fn is_writing(&self) -> bool {
+        match self {
+            NodeStore::Legacy(s) => s.is_writing(),
+            NodeStore::Delta(s) => s.is_writing(),
+        }
+    }
+
+    fn latest_shared(&self) -> Option<Checkpoint> {
+        match self {
+            NodeStore::Legacy(s) => s.latest_shared(),
+            NodeStore::Delta(s) => s.latest_shared(),
+        }
+    }
+
+    fn latest_at_or_before_shared(&self, seq: u64) -> Option<Checkpoint> {
+        match self {
+            NodeStore::Legacy(s) => s.latest_at_or_before_shared(seq),
+            NodeStore::Delta(s) => s.latest_at_or_before_shared(seq),
+        }
+    }
+
+    fn stats(&self) -> StableStats {
+        match self {
+            NodeStore::Legacy(s) => s.stats(),
+            NodeStore::Delta(s) => s.stats(),
+        }
+    }
+}
+
+/// Builds the archive-tier object store for a delta-mode node, applying the
+/// fault plan when it is not inert.
+fn build_archive(opts: &NodeOpts) -> io::Result<Box<dyn ObjectStore>> {
+    Ok(match &opts.archive_dir {
+        Some(dir) => {
+            let inner = DirObjectStore::open(dir)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if opts.archive_plan.is_inert() {
+                Box::new(inner)
+            } else {
+                Box::new(FaultyObjectStore::new(inner, opts.archive_plan.clone()))
+            }
+        }
+        None => {
+            let inner = MemObjectStore::new();
+            if opts.archive_plan.is_inert() {
+                Box::new(inner)
+            } else {
+                Box::new(FaultyObjectStore::new(inner, opts.archive_plan.clone()))
+            }
+        }
+    })
 }
 
 /// The node's live wire with the cluster's backpressure discipline: a
@@ -290,14 +420,38 @@ fn status_barrier(input_tx: &Sender<NodeInput>) -> io::Result<NodeStatus> {
 ///
 /// Storage, socket, or control-protocol failures.
 pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
-    let store = DiskStableStore::open(&opts.data_dir)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let recovered_epoch = store.latest_seq();
-    let reload_stats = store.stats();
-    let recovered_torn = reload_stats.torn_writes;
-    // Bit-rot is only ever observed at reload time, so the count is fixed
-    // for the lifetime of this incarnation.
-    let recovered_corrupt = reload_stats.corrupt_records;
+    let (store, archive, recovered_epoch, recovered_torn, recovered_corrupt) = if opts.delta_k > 0 {
+        let tiered = TieredStore::open(&opts.data_dir, DELTA_DISK_RETAIN, build_archive(opts)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let handle = tiered.handle();
+        let reload_stats = tiered.stats();
+        let delta = DeltaStable::open_with_retention(tiered, opts.delta_k, DELTA_DISK_RETAIN);
+        let recovered_epoch = delta.latest_seq();
+        // A chain orphan is bit-rot observed one layer up: the disk frame
+        // verified but its chain link did not, so the record was dropped.
+        let recovered_corrupt = reload_stats.corrupt_records + delta.delta_stats().chain_orphans;
+        (
+            NodeStore::Delta(Box::new(delta)),
+            Some(handle),
+            recovered_epoch,
+            reload_stats.torn_writes,
+            recovered_corrupt,
+        )
+    } else {
+        let store = DiskStableStore::open(&opts.data_dir)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let recovered_epoch = store.latest_seq();
+        let reload_stats = store.stats();
+        // Bit-rot is only ever observed at reload time, so the count is
+        // fixed for the lifetime of this incarnation.
+        (
+            NodeStore::Legacy(store),
+            None,
+            recovered_epoch,
+            reload_stats.torn_writes,
+            reload_stats.corrupt_records,
+        )
+    };
     let store = FaultyStable::new(store, opts.disk_plan.clone());
 
     let mut policy = WirePolicy::default();
@@ -395,6 +549,10 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
             CtrlMsg::Status => {
                 let s = status_barrier(&input_tx)?;
                 let totals = net.totals();
+                let archive_stats = archive
+                    .as_ref()
+                    .map(ArchiveHandle::stats)
+                    .unwrap_or_default();
                 CtrlReply::Status(WireStatus {
                     dirty: s.dirty,
                     delivered: s.delivered,
@@ -411,6 +569,10 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
                     stable_retries: s.stable_retries,
                     corrupt_records: recovered_corrupt,
                     backpressure: raw_net.stalled(),
+                    archive_pending: archive.as_ref().map_or(0, |h| h.pending() as u64),
+                    archive_uploads: archive_stats.uploads,
+                    archive_failures: archive_stats.upload_failures,
+                    rehydrated: archive_stats.rehydrated,
                 })
             }
             CtrlMsg::Blast {
@@ -523,5 +685,58 @@ mod tests {
             NodeOpts::from_args(["--chaos-link".to_string(), "zz".to_string()].into_iter())
                 .is_err()
         );
+    }
+
+    #[test]
+    fn node_opts_parse_archive_flags() {
+        let plan = ArchiveFaultPlan {
+            seed: 11,
+            put_fail: 0.25,
+            latency_ms: 3,
+            ..ArchiveFaultPlan::inert()
+        };
+        let argv = [
+            "--pid",
+            "1",
+            "--seed",
+            "7",
+            "--data-dir",
+            "/tmp/x",
+            "--ctrl",
+            "127.0.0.1:9",
+            "--delta-k",
+            "4",
+            "--archive-dir",
+            "/tmp/x-archive",
+            "--chaos-archive",
+            &plan_to_hex(&plan),
+        ];
+        let opts = NodeOpts::from_args(argv.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.delta_k, 4);
+        assert_eq!(
+            opts.archive_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x-archive"))
+        );
+        assert_eq!(opts.archive_plan, plan);
+
+        // Legacy invocations keep the legacy store.
+        let legacy = NodeOpts::from_args(
+            [
+                "--pid",
+                "1",
+                "--seed",
+                "7",
+                "--data-dir",
+                "/tmp/x",
+                "--ctrl",
+                "127.0.0.1:9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(legacy.delta_k, 0);
+        assert!(legacy.archive_dir.is_none());
+        assert!(legacy.archive_plan.is_inert());
     }
 }

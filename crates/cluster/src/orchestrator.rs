@@ -43,9 +43,10 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use synergy::NodeId;
+use synergy_archive::{ArchiveFaultPlan, ChainRecord};
 use synergy_net::retry::Backoff;
 use synergy_net::{DeviceId, Endpoint, LinkFaultPlan, LiveWire, MessageBody, ProcessId, WireKind};
-use synergy_storage::DiskFaultPlan;
+use synergy_storage::{Checkpoint, DiskFaultPlan, DiskStableStore};
 
 use crate::ctrl::{recv_ctrl, send_ctrl, CtrlMsg, CtrlReply, WireStatus};
 use crate::node::plan_to_hex;
@@ -205,6 +206,26 @@ pub struct ClusterConfig {
     /// reload path (only when the victim holds ≥ 2 committed records, so
     /// the epoch line — and hence the device stream — is unchanged).
     pub bitrot: bool,
+    /// Incremental-checkpoint cadence shipped to every node
+    /// (`--delta-k`): full image every `delta_k` stable commits,
+    /// CRC-chained deltas between. Zero keeps the legacy full-image store
+    /// and disables every archive-tier feature below.
+    pub delta_k: u32,
+    /// Per-node archive-tier fault plans, indexed by node; missing entries
+    /// are inert. Only meaningful with `delta_k > 0`.
+    pub archive_plans: Vec<ArchiveFaultPlan>,
+    /// Wipe the first crash victim's entire data directory while it is
+    /// down (delta mode only): its restart rehydrates tier 0 from the
+    /// archive and must rejoin byte-identically. Requires the pre-crash
+    /// quiesce to have drained the victim's upload queue, which the
+    /// archive-aware quiesce condition guarantees.
+    pub wipe: bool,
+    /// Delta-chain bit-rot: corrupt the first crash victim's *oldest*
+    /// chain record behind a valid disk frame, so only the chain-link
+    /// verification one layer up can catch it (only when a later full
+    /// image exists, so the newest record — the rollback restore target —
+    /// still replays and the device stream is unchanged).
+    pub deltarot: bool,
     /// Which live-wire transport every node (and the orchestrator's device
     /// endpoint) runs: the sharded reactor by default, or the legacy
     /// thread-per-route transport.
@@ -241,6 +262,10 @@ impl ClusterConfig {
             link_plan: LinkFaultPlan::inert(seed),
             disk_plans: Vec::new(),
             bitrot: false,
+            delta_k: 0,
+            archive_plans: Vec::new(),
+            wipe: false,
+            deltarot: false,
             transport: WireKind::default(),
             wire_queue_bytes: None,
             node_bin,
@@ -267,6 +292,9 @@ pub struct KillReport {
     pub reload_torn_writes: u64,
     /// Committed records the restarted victim rejected by CRC (bit-rot).
     pub reload_corrupt_records: u64,
+    /// Whether the victim's data directory was wiped while it was down,
+    /// forcing its restart to rehydrate tier 0 from the archive.
+    pub wiped: bool,
     /// The epoch line the orchestrator computed for the global rollback.
     pub line: u64,
     /// Rollback distance in grid epochs: the torn round minus the line.
@@ -414,6 +442,8 @@ pub struct Cluster {
     device_addr: String,
     nodes: Vec<NodeHandle>,
     bitrot_injected: bool,
+    deltarot_injected: bool,
+    wiped: bool,
 }
 
 impl Cluster {
@@ -442,6 +472,8 @@ impl Cluster {
             device_addr,
             nodes: Vec::new(),
             bitrot_injected: false,
+            deltarot_injected: false,
+            wiped: false,
         };
         for node in NodeId::ALL {
             let pid = node.index() as u32 + 1;
@@ -509,6 +541,23 @@ impl Cluster {
         if let Some(plan) = self.cfg.disk_plans.get(node.index()) {
             if !plan.is_inert() {
                 cmd.arg("--chaos-disk").arg(plan_to_hex(plan));
+            }
+        }
+        if self.cfg.delta_k > 0 {
+            // The archive tier lives *beside* the data dir, so wiping the
+            // node's local disk leaves the archive intact to rehydrate from.
+            let archive_dir = self.cfg.data_root.join(format!("archive-{}", node.index()));
+            std::fs::create_dir_all(&archive_dir).map_err(|e| ClusterError::Launch {
+                detail: format!("create {}: {e}", archive_dir.display()),
+            })?;
+            cmd.arg("--delta-k")
+                .arg(self.cfg.delta_k.to_string())
+                .arg("--archive-dir")
+                .arg(&archive_dir);
+            if let Some(plan) = self.cfg.archive_plans.get(node.index()) {
+                if !plan.is_inert() {
+                    cmd.arg("--chaos-archive").arg(plan_to_hex(plan));
+                }
             }
         }
         cmd.stdin(Stdio::null())
@@ -660,9 +709,12 @@ impl Cluster {
         let mut prev: Option<Vec<(u32, WireStatus)>> = None;
         loop {
             let snap = self.status_all()?;
+            // Archive-aware: an undrained upload queue means a kill (or
+            // wipe) could behead records the archive never saw, so delta
+            // missions settle it alongside the data plane.
             let drained = snap
                 .iter()
-                .all(|(_, s)| s.unacked == 0 && s.net_queued == 0);
+                .all(|(_, s)| s.unacked == 0 && s.net_queued == 0 && s.archive_pending == 0);
             if drained && prev.as_ref() == Some(&snap) {
                 return Ok(snap);
             }
@@ -747,6 +799,88 @@ impl Cluster {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(target, bytes).map_err(fs_err)?;
+        Ok(true)
+    }
+
+    /// Corrupts the victim's **oldest** chain record *behind a valid disk
+    /// frame*: the record file re-frames cleanly, so the disk reload
+    /// accepts it and only the chain-link verification one layer up can
+    /// refuse it. Requires a later full image among the committed records
+    /// so the newest record — the rollback restore target — still replays
+    /// and the device stream is unchanged.
+    fn inject_deltarot(&self, victim: usize) -> Result<bool, ClusterError> {
+        use synergy_archive::RecordKind;
+        let dir = self.cfg.data_root.join(format!("node-{victim}"));
+        let fs_err = |e: io::Error| ClusterError::Launch {
+            detail: format!("delta-rot injection in {}: {e}", dir.display()),
+        };
+        let mut records: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(fs_err)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".bin"))
+            })
+            .collect();
+        if records.len() < 2 {
+            return Ok(false);
+        }
+        records.sort();
+        let mut decoded = Vec::with_capacity(records.len());
+        for path in &records {
+            let Some(ckpt) = DiskStableStore::read_record_file(path) else {
+                return Ok(false);
+            };
+            let Ok(record) = ckpt.decode::<ChainRecord>() else {
+                return Ok(false);
+            };
+            decoded.push((ckpt, record));
+        }
+        if !decoded[1..]
+            .iter()
+            .any(|(_, r)| r.kind() == RecordKind::Full)
+        {
+            return Ok(false);
+        }
+        let (ckpt, record) = &decoded[0];
+        let corrupted = match record.clone() {
+            ChainRecord::Full { chain_crc, image } => {
+                let mut bytes = image.to_vec();
+                if bytes.is_empty() {
+                    return Ok(false);
+                }
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x01;
+                ChainRecord::Full {
+                    chain_crc,
+                    image: bytes.into(),
+                }
+            }
+            ChainRecord::Delta {
+                base_seq,
+                chain_crc,
+                mut patch,
+            } => {
+                // Rot the reconstructed-image CRC: the frame stays valid,
+                // the chain link no longer verifies.
+                patch.image_crc ^= 0x1;
+                ChainRecord::Delta {
+                    base_seq,
+                    chain_crc,
+                    patch,
+                }
+            }
+        };
+        let rewritten = Checkpoint::encode(ckpt.seq(), ckpt.taken_at(), ckpt.label(), &corrupted)
+            .map_err(|e| ClusterError::Launch {
+            detail: format!("re-encode rotted chain record: {e}"),
+        })?;
+        DiskStableStore::write_record_file(&records[0], &rewritten).map_err(|e| {
+            ClusterError::Launch {
+                detail: format!("delta-rot write: {e}"),
+            }
+        })?;
         Ok(true)
     }
 
@@ -845,9 +979,27 @@ impl Cluster {
             }
         }
 
-        // Read-back bit-rot, injected while the victim is down so its
-        // restart exercises the CRC-verified reload.
-        if self.cfg.bitrot && !self.bitrot_injected {
+        // Faults injected while the victim is down, so its restart
+        // exercises the recovery ladder. At most one per crash: a wipe
+        // leaves nothing for the rot injectors to chew on this round
+        // (each latches independently, so a skipped injector retries at
+        // the next scheduled crash).
+        let mut wiped = false;
+        if self.cfg.wipe && self.cfg.delta_k > 0 && !self.wiped {
+            // The archive-aware quiesce before this round drained the
+            // victim's upload queue, so the archive holds every committed
+            // record and the wiped node rehydrates to the same history.
+            let dir = self.cfg.data_root.join(format!("node-{victim}"));
+            std::fs::remove_dir_all(&dir).map_err(|e| ClusterError::Launch {
+                detail: format!("wipe {}: {e}", dir.display()),
+            })?;
+            self.wiped = true;
+            wiped = true;
+        }
+        if self.cfg.deltarot && self.cfg.delta_k > 0 && !self.deltarot_injected && !wiped {
+            self.deltarot_injected = self.inject_deltarot(victim)?;
+        }
+        if self.cfg.bitrot && !self.bitrot_injected && !wiped {
             self.bitrot_injected = self.inject_bitrot(victim)?;
         }
 
@@ -902,6 +1054,7 @@ impl Cluster {
             reload_epoch,
             reload_torn_writes: reload_torn,
             reload_corrupt_records: reload_corrupt,
+            wiped,
             line,
             rollback_epochs: ev.epoch.saturating_sub(line),
             rollbacks,
@@ -923,7 +1076,9 @@ impl Cluster {
         // the simulator never sees.
         let chaos_active = !self.cfg.link_plan.is_inert()
             || self.cfg.disk_plans.iter().any(|p| !p.is_inert())
-            || self.cfg.internal_traffic;
+            || self.cfg.internal_traffic
+            || self.cfg.wipe
+            || self.cfg.archive_plans.iter().any(|p| !p.is_inert());
         let mut device_payloads = Vec::new();
         let mut kills = Vec::new();
         let mut next_grid: u64 = 1;

@@ -195,6 +195,177 @@ fn acked_internal_traffic_mission_survives_a_kill_and_matches_the_simulator() {
 }
 
 #[test]
+fn delta_chain_mission_survives_a_kill_and_matches_the_simulator() {
+    // Same mission as the torn-write kill above, but every node persists
+    // through the delta-chain store over the tiered archive: the reload
+    // walks the CRC-chained records instead of full images, and the
+    // observable stream must be unchanged.
+    let seed = 11;
+    let steps = 8;
+    let kill_epoch = 3;
+    let victim = NodeId::P2;
+    let data_root = unique_dir("delta");
+
+    let mut cfg = ClusterConfig::new(
+        seed,
+        steps,
+        TB_INTERVAL_SECS,
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.to_path_buf(),
+    );
+    cfg.delta_k = 4;
+    cfg.crashes.push(CrashEvent {
+        victim,
+        epoch: kill_epoch,
+        kind: CrashKind::MidRound,
+    });
+    let report = Cluster::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("delta mission completes despite the kill");
+    let kill = report.kills.first().expect("kill executed");
+
+    assert!(kill.victim_began_writing, "write staged before the kill");
+    assert_eq!(
+        kill.reload_epoch,
+        Some(kill_epoch - 1),
+        "victim recovers the last committed epoch through the chain walk"
+    );
+    assert_eq!(kill.reload_torn_writes, 1, "torn write detected on reload");
+    assert!(!kill.wiped);
+
+    let reference = simulate_reference(seed, steps, TB_INTERVAL_SECS, Some((victim, kill_epoch)));
+    assert!(reference.verdicts_hold);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "delta-chain cluster and simulator device streams must be identical"
+    );
+    // Every node mirrored committed records to its archive tier (the
+    // final sweep may catch a record still in flight, hence the sum).
+    for (pid, status) in &report.final_status {
+        assert!(
+            status.archive_uploads + status.archive_pending > 0,
+            "pid {pid} mirrored records to the archive tier"
+        );
+        assert_eq!(status.rehydrated, 0, "pid {pid}: no wipe, no rehydration");
+    }
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn wiped_node_rehydrates_from_the_archive_and_matches_the_simulator() {
+    // The victim's entire data directory is destroyed while it is down;
+    // its restart must rebuild tier 0 from the archive tier and rejoin
+    // with the same committed history — the stream stays byte-identical.
+    let seed = 11;
+    let steps = 8;
+    let kill_epoch = 3;
+    let victim = NodeId::P2;
+    let data_root = unique_dir("wipe");
+
+    let mut cfg = ClusterConfig::new(
+        seed,
+        steps,
+        TB_INTERVAL_SECS,
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.to_path_buf(),
+    );
+    cfg.delta_k = 4;
+    cfg.wipe = true;
+    cfg.crashes.push(CrashEvent {
+        victim,
+        epoch: kill_epoch,
+        kind: CrashKind::MidRound,
+    });
+    let report = Cluster::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("mission completes despite the wipe");
+    let kill = report.kills.first().expect("kill executed");
+
+    assert!(kill.wiped, "the victim's disk was wiped while it was down");
+    assert_eq!(
+        kill.reload_epoch,
+        Some(kill_epoch - 1),
+        "the wiped victim recovers its full committed history from the archive"
+    );
+    assert_eq!(
+        kill.reload_torn_writes, 0,
+        "the torn temp file went with the wipe; rehydration has no tear"
+    );
+    let p_victim = victim.index() as u32 + 1;
+    let victim_status = report
+        .final_status
+        .iter()
+        .find(|(pid, _)| *pid == p_victim)
+        .map(|(_, s)| s)
+        .expect("victim status present");
+    assert!(
+        victim_status.rehydrated > 0,
+        "tier 0 was rebuilt from archive objects"
+    );
+
+    let reference = simulate_reference(seed, steps, TB_INTERVAL_SECS, Some((victim, kill_epoch)));
+    assert!(reference.verdicts_hold);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "wiped-and-rehydrated cluster must match the simulator byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn rotted_chain_record_is_refused_on_reload_and_the_stream_is_unchanged() {
+    // Delta-chain bit-rot: the victim's oldest chain record is corrupted
+    // behind a valid disk frame, so only the chain-link verification can
+    // catch it. The damaged prefix is dropped, the newest record still
+    // replays, and the device stream is unchanged.
+    let seed = 11;
+    let steps = 8;
+    let kill_epoch = 4; // victim holds Full, Delta, Full before the kill (k=2)
+    let victim = NodeId::P2;
+    let data_root = unique_dir("deltarot");
+
+    let mut cfg = ClusterConfig::new(
+        seed,
+        steps,
+        TB_INTERVAL_SECS,
+        PathBuf::from(env!("CARGO_BIN_EXE_synergy-node")),
+        data_root.to_path_buf(),
+    );
+    cfg.delta_k = 2;
+    cfg.deltarot = true;
+    cfg.crashes.push(CrashEvent {
+        victim,
+        epoch: kill_epoch,
+        kind: CrashKind::MidRound,
+    });
+    let report = Cluster::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("mission completes despite the rotted chain record");
+    let kill = report.kills.first().expect("kill executed");
+
+    assert!(
+        kill.reload_corrupt_records >= 1,
+        "the rotted record (and anything chained on it) is refused as an orphan"
+    );
+    assert_eq!(
+        kill.reload_epoch,
+        Some(kill_epoch - 1),
+        "the newest record replays from the later full image"
+    );
+
+    let reference = simulate_reference(seed, steps, TB_INTERVAL_SECS, Some((victim, kill_epoch)));
+    assert!(reference.verdicts_hold);
+    assert_eq!(
+        report.device_payloads, reference.device_payloads,
+        "masked chain rot must not change the device stream"
+    );
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
 fn first_round_kill_rolls_every_node_back_to_the_initial_state() {
     // Killing the victim in round 1 leaves it with no committed checkpoint
     // at all: the epoch line is 0 and every node — survivors included —

@@ -84,6 +84,14 @@ pub struct SystemConfig {
     pub disk: DiskModel,
     /// Whether to record a full event trace (disable for long sweeps).
     pub trace: bool,
+    /// When set, account every stable commit through the incremental
+    /// checkpoint chain (full image every `k` commits, dirty-region deltas
+    /// between) and record the byte costs in
+    /// [`RunMetrics::stable_bytes_full`](crate::RunMetrics) /
+    /// [`stable_bytes_delta`](crate::RunMetrics::stable_bytes_delta).
+    /// Accounting only — protocol behaviour, schedules and device streams
+    /// are byte-identical with it on or off.
+    pub checkpoint_delta_k: Option<u32>,
     /// Additional scripted application sends (used by the figure
     /// scenarios); they fire once at the given instants, on top of (or, with
     /// zero rates, instead of) the Poisson workload.
@@ -132,6 +140,7 @@ impl Default for SystemConfigBuilder {
                 restart_delay: SimDuration::from_millis(500),
                 disk: DiskModel::commodity(),
                 trace: true,
+                checkpoint_delta_k: None,
                 scripted_sends: Vec::new(),
             },
         }
@@ -228,6 +237,18 @@ impl SystemConfigBuilder {
     /// Enables or disables trace recording.
     pub fn trace(mut self, on: bool) -> Self {
         self.cfg.trace = on;
+        self
+    }
+
+    /// Enables incremental-checkpoint byte accounting with a full image
+    /// every `k` stable commits (`k = 1` measures the full-image scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn checkpoint_delta_k(mut self, k: u32) -> Self {
+        assert!(k >= 1, "full-image cadence k must be at least 1");
+        self.cfg.checkpoint_delta_k = Some(k);
         self
     }
 

@@ -62,6 +62,16 @@ pub struct RunMetrics {
     pub blocking_periods: u64,
     /// Timer resynchronizations performed.
     pub resyncs: u64,
+    /// Bytes a full-image-per-commit scheme writes to stable storage
+    /// (the serialized checkpoint state, summed over commits). Only
+    /// accounted when
+    /// [`checkpoint_delta_k`](crate::SystemConfigBuilder::checkpoint_delta_k)
+    /// is set; zero otherwise.
+    pub stable_bytes_full: u64,
+    /// Bytes the incremental chain format writes for the same commits
+    /// (full image every `k`, dirty-region deltas between). Zero unless
+    /// delta accounting is enabled.
+    pub stable_bytes_delta: u64,
     /// Completed software (MDCD) recoveries.
     pub software_recoveries: u64,
     /// Completed hardware (global rollback) recoveries.

@@ -182,6 +182,7 @@ impl System {
                 }
                 HostAction::WriteThroughCommitted => {
                     self.metrics.stable_commits += 1;
+                    self.account_stable_commit(i);
                     self.sim
                         .record(self.host_actors[i], "ckpt.stable", "write-through type-2");
                 }
@@ -210,6 +211,7 @@ impl System {
                 }
                 HostAction::StableCommitted { ndc } => {
                     self.metrics.stable_commits += 1;
+                    self.account_stable_commit(i);
                     self.sim.record_with(self.host_actors[i], || {
                         ("ckpt.stable", format!("committed {ndc}"))
                     });
@@ -245,6 +247,22 @@ impl System {
         if software_error {
             self.software_recovery(now);
         }
+    }
+
+    /// Accounts the freshly committed stable checkpoint of host `i` through
+    /// the incremental chain format, when delta accounting is enabled. Uses
+    /// the size-only measurement path: steady state costs a refcount bump of
+    /// the committed image, no materialized regions.
+    fn account_stable_commit(&mut self, i: usize) {
+        let Some(codecs) = &mut self.ckpt_codecs else {
+            return;
+        };
+        let Some(ckpt) = self.hosts[i].stable.latest_shared() else {
+            return;
+        };
+        let cost = codecs[i].measure_committed(&ckpt);
+        self.metrics.stable_bytes_full += cost.full_bytes;
+        self.metrics.stable_bytes_delta += cost.encoded_bytes;
     }
 
     /// Sends an envelope on behalf of host `i`, performing the host's

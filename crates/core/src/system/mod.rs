@@ -86,6 +86,11 @@ pub struct System {
     software_recovered: bool,
     crash_pending: Vec<usize>,
     finished: bool,
+    /// Per-host incremental-checkpoint codecs, present when
+    /// [`SystemConfig::checkpoint_delta_k`] is set. Accounting only: they
+    /// measure what each stable commit would cost through the chain format,
+    /// without touching the stores or the schedule.
+    ckpt_codecs: Option<Vec<synergy_archive::CheckpointCodec>>,
 }
 
 impl System {
@@ -171,6 +176,9 @@ impl System {
             software_recovered: false,
             crash_pending: Vec::new(),
             finished: false,
+            ckpt_codecs: cfg
+                .checkpoint_delta_k
+                .map(|k| vec![synergy_archive::CheckpointCodec::new(k); 3]),
             cfg,
         };
         sys.bootstrap(root);

@@ -7,7 +7,7 @@
 //!               [--seed <u64>] [--duration-secs <f64>] [--quantum <n>]
 //!               [--fault-every <n>] [--sw-fault-every <n>]
 //!               [--sink null|bounded:<cap>] [--verify <k>]
-//!               [--tenant-rows <n>]
+//!               [--tenant-rows <n>] [--delta-k <k>]
 //! ```
 //!
 //! A fraction of tenants carry scheduled hardware faults (every
@@ -16,6 +16,10 @@
 //! fault-free path. `--verify <k>` re-runs `k` sampled tenants as
 //! standalone simulator missions and diffs device streams and full run
 //! metrics byte-for-byte — exit status is nonzero on any divergence.
+//! `--delta-k <k>` turns on incremental-checkpoint byte accounting (full
+//! image every `k` stable commits) for every tenant; the solo side of
+//! `--verify` runs with the same setting, so the metric diff covers the
+//! byte counters too.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,6 +43,7 @@ struct Args {
     sink: SinkChoice,
     verify: u64,
     tenant_rows: usize,
+    delta_k: u32,
 }
 
 enum SinkChoice {
@@ -59,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         sink: SinkChoice::Null,
         verify: 0,
         tenant_rows: 20,
+        delta_k: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -90,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--verify" => out.verify = value()?.parse().map_err(|e| format!("{e}"))?,
             "--tenant-rows" => out.tenant_rows = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--delta-k" => out.delta_k = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -115,6 +122,9 @@ fn tenant_config(args: &Args, i: u64, mission: MissionId) -> SystemConfig {
     }
     if args.sw_fault_every > 0 && i.is_multiple_of(args.sw_fault_every) {
         builder = builder.software_fault_at_secs(args.duration_secs * 0.33);
+    }
+    if args.delta_k > 0 {
+        builder = builder.checkpoint_delta_k(args.delta_k);
     }
     builder.build()
 }
@@ -234,6 +244,14 @@ fn main() -> ExitCode {
         println!(
             "fleet: drained {} device messages",
             drained.load(Ordering::Relaxed)
+        );
+    }
+    if args.delta_k > 0 {
+        let (bytes_full, bytes_delta) = stats.stable_bytes();
+        println!(
+            "fleet: stable bytes full-image={bytes_full} delta-chain={bytes_delta} (k={}, {:.1}x smaller)",
+            args.delta_k,
+            bytes_full as f64 / (bytes_delta.max(1)) as f64,
         );
     }
 

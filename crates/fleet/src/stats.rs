@@ -34,6 +34,12 @@ pub struct TenantStats {
     pub drops: u64,
     /// Times this tenant was torn down and rebuilt.
     pub restarts: u64,
+    /// Stable-storage bytes a full-image-per-commit scheme would write for
+    /// this tenant (zero unless the mission enables delta accounting).
+    pub stable_bytes_full: u64,
+    /// Stable-storage bytes the incremental chain format writes for the
+    /// same commits (zero unless delta accounting is enabled).
+    pub stable_bytes_delta: u64,
     /// Wall-clock milliseconds from attach to mission completion
     /// (0 until the mission completes).
     pub latency_ms: f64,
@@ -58,6 +64,8 @@ pub struct FleetStats {
     device_msgs: AtomicU64,
     software_rollbacks: AtomicU64,
     hardware_rollbacks: AtomicU64,
+    stable_bytes_full: AtomicU64,
+    stable_bytes_delta: AtomicU64,
     latencies_ms: Mutex<Vec<f64>>,
     tenants: Mutex<BTreeMap<u64, TenantStats>>,
 }
@@ -112,6 +120,14 @@ impl FleetStats {
         );
         self.hardware_rollbacks.fetch_add(
             delta(stats.hardware_rollbacks, prev.hardware_rollbacks),
+            Ordering::Relaxed,
+        );
+        self.stable_bytes_full.fetch_add(
+            delta(stats.stable_bytes_full, prev.stable_bytes_full),
+            Ordering::Relaxed,
+        );
+        self.stable_bytes_delta.fetch_add(
+            delta(stats.stable_bytes_delta, prev.stable_bytes_delta),
             Ordering::Relaxed,
         );
         if stats.latency_ms > 0.0 && prev.latency_ms == 0.0 {
@@ -176,6 +192,16 @@ impl FleetStats {
         )
     }
 
+    /// Stable-write byte totals across all harvested tenants, as
+    /// `(full_image_bytes, delta_chain_bytes)`. Both zero unless missions
+    /// run with delta accounting enabled.
+    pub fn stable_bytes(&self) -> (u64, u64) {
+        (
+            self.stable_bytes_full.load(Ordering::Relaxed),
+            self.stable_bytes_delta.load(Ordering::Relaxed),
+        )
+    }
+
     /// The harvested counters of one tenant, if any were recorded.
     pub fn tenant(&self, mission: MissionId) -> Option<TenantStats> {
         self.tenants
@@ -222,6 +248,9 @@ impl FleetStats {
         let _ = writeln!(out, "  \"device_msgs\": {},", self.device_msgs());
         let _ = writeln!(out, "  \"software_rollbacks\": {sw},");
         let _ = writeln!(out, "  \"hardware_rollbacks\": {hw},");
+        let (bytes_full, bytes_delta) = self.stable_bytes();
+        let _ = writeln!(out, "  \"stable_bytes_full\": {bytes_full},");
+        let _ = writeln!(out, "  \"stable_bytes_delta\": {bytes_delta},");
         let _ = writeln!(
             out,
             "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},",
@@ -240,8 +269,9 @@ impl FleetStats {
                 "    {{ \"mission\": {mission}, \"events\": {}, \"quanta\": {}, \
                  \"device_msgs\": {}, \"software_rollbacks\": {}, \
                  \"hardware_rollbacks\": {}, \"stalls\": {}, \"drops\": {}, \
-                 \"restarts\": {}, \"latency_ms\": {:.3}, \"verdicts_hold\": {}, \
-                 \"max_pass_gap\": {} }}{comma}",
+                 \"restarts\": {}, \"stable_bytes_full\": {}, \
+                 \"stable_bytes_delta\": {}, \"latency_ms\": {:.3}, \
+                 \"verdicts_hold\": {}, \"max_pass_gap\": {} }}{comma}",
                 t.events,
                 t.quanta,
                 t.device_msgs,
@@ -250,6 +280,8 @@ impl FleetStats {
                 t.stalls,
                 t.drops,
                 t.restarts,
+                t.stable_bytes_full,
+                t.stable_bytes_delta,
                 t.latency_ms,
                 t.verdicts_hold,
                 t.max_pass_gap
@@ -283,6 +315,24 @@ mod tests {
         assert_eq!(stats.completed(), 1, "completion counted once");
         assert_eq!(stats.tenant(m).unwrap().events, 250);
         assert_eq!(stats.latency_percentile_ms(50.0), Some(12.5));
+    }
+
+    #[test]
+    fn stable_byte_totals_fold_by_delta_and_render() {
+        let stats = FleetStats::new();
+        let m = MissionId(3);
+        let mut t = completed_tenant(10, 0.0);
+        t.stable_bytes_full = 1000;
+        t.stable_bytes_delta = 100;
+        stats.record_tenant(m, t.clone());
+        t.stable_bytes_full = 4000;
+        t.stable_bytes_delta = 250;
+        t.latency_ms = 5.0;
+        stats.record_tenant(m, t);
+        assert_eq!(stats.stable_bytes(), (4000, 250), "fold by delta, not sum");
+        let json = stats.to_json(5);
+        assert!(json.contains("\"stable_bytes_full\": 4000"));
+        assert!(json.contains("\"stable_bytes_delta\": 250"));
     }
 
     #[test]

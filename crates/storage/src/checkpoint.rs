@@ -136,6 +136,28 @@ impl Checkpoint {
         })
     }
 
+    /// Rebuilds a checkpoint from already-serialized state bytes, recomputing
+    /// the CRC. This is the reconstruction path for layered stores (the
+    /// archive's delta chain) that persist a *transformed* record and must
+    /// reproduce the original byte-identically: for any checkpoint built by
+    /// [`encode`](Self::encode), `from_raw_parts` over the same metadata and
+    /// [`shared_data`](Self::shared_data) yields an equal record.
+    pub fn from_raw_parts(
+        seq: u64,
+        taken_at: SimTime,
+        label: impl Into<String>,
+        data: Arc<[u8]>,
+    ) -> Self {
+        let crc = crc32(&data);
+        Checkpoint {
+            seq,
+            taken_at_nanos: taken_at.as_nanos(),
+            label: label.into(),
+            data,
+            crc,
+        }
+    }
+
     /// Deserializes the stored state.
     ///
     /// # Errors

@@ -191,6 +191,52 @@ impl DiskStableStore {
         &self.dir
     }
 
+    /// Shared handles to every retained committed checkpoint, oldest first
+    /// (commit order — which is file-index order, not sequence-number order:
+    /// a post-rollback epoch reuses sequence numbers with a fresh index).
+    pub fn committed_shared(&self) -> Vec<Checkpoint> {
+        self.committed.iter().map(|(_, c)| c.clone()).collect()
+    }
+
+    /// File index and path of the newest committed record, if any.
+    pub fn newest_record_file(&self) -> Option<(u64, PathBuf)> {
+        self.committed
+            .last()
+            .map(|(i, _)| (*i, self.dir.join(file_name(*i))))
+    }
+
+    /// Reads and CRC-verifies one committed record file. Any failure —
+    /// truncation, bad magic, bad CRC, codec error — yields `None`; the
+    /// record is unusable. Exposed so out-of-process tooling (the chaos
+    /// orchestrator's layout-aware fault injection, the archive tier's
+    /// rehydration) can inspect records without reimplementing the frame.
+    pub fn read_record_file(path: &Path) -> Option<Checkpoint> {
+        unframe(&fs::read(path).ok()?)
+    }
+
+    /// Writes `ckpt` to `path` as a committed record with a valid frame.
+    /// The counterpart of [`read_record_file`](Self::read_record_file) for
+    /// layout-aware tooling — e.g. the chaos orchestrator fabricating
+    /// record-level corruption that must still pass the frame CRC so it is
+    /// only caught by a verification layer above the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableWriteError::Io`] on encode or filesystem failure.
+    pub fn write_record_file(path: &Path, ckpt: &Checkpoint) -> Result<(), StableWriteError> {
+        fs::write(path, frame(ckpt)?).map_err(|e| io_err("write record", path, e))
+    }
+
+    /// The on-disk file name of a committed record (`ckpt-NNNNNNNNNN.bin`).
+    pub fn record_file_name(index: u64) -> String {
+        file_name(index)
+    }
+
+    /// Parses a committed-record file name back to its index.
+    pub fn parse_record_file_name(name: &str) -> Option<u64> {
+        parse_index(name)
+    }
+
     fn inflight_path(&self) -> PathBuf {
         self.dir.join(INFLIGHT)
     }

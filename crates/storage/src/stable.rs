@@ -287,6 +287,13 @@ impl StableStore {
         self.committed.last().cloned()
     }
 
+    /// Shared handles to every retained committed checkpoint, oldest first
+    /// (commit order). Layered stores (the archive's delta chain) walk this
+    /// to rebuild their state from the backend's history.
+    pub fn committed_shared(&self) -> Vec<Checkpoint> {
+        self.committed.clone()
+    }
+
     /// The committed checkpoint with sequence number `seq`, if retained.
     pub fn by_seq(&self, seq: u64) -> Option<&Checkpoint> {
         self.committed.iter().rev().find(|c| c.seq() == seq)

@@ -44,6 +44,16 @@ BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
     BENCH_FLEET_TENANTS="${BENCH_FLEET_TENANTS:-}" \
     cargo bench -q --bench fleet
 
+# Checkpoint formats: stable-write bytes/round and cold-recovery time for
+# the legacy full-image store vs the delta chain at k ∈ {1,4,16} on a
+# large-state mission. Appends to the same record's "checkpoint" section.
+# BENCH_CHECKPOINT_ROUNDS / BENCH_CHECKPOINT_STATE_KIB shrink it — check.sh
+# smokes it small.
+BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
+    BENCH_CHECKPOINT_ROUNDS="${BENCH_CHECKPOINT_ROUNDS:-}" \
+    BENCH_CHECKPOINT_STATE_KIB="${BENCH_CHECKPOINT_STATE_KIB:-}" \
+    cargo bench -q --bench checkpoint
+
 # Optional: wall-clock a small deterministic chaos sweep against the live
 # three-process cluster. Machines without the cluster binaries (a
 # bench-only checkout, or a target dir built before the chaos crate

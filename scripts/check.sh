@@ -20,6 +20,13 @@ echo "==> chaos smoke: 4 fixed-seed campaigns against the live cluster"
 # spec family the chaos crate's own smoke test replays.
 ./target/release/synergy-chaos --seeds 4 --base-seed 7 --jobs 2
 
+echo "==> archive smoke: delta-chain, wipe-rehydration and archive-fault campaigns"
+# Base seed 1's first 8 campaigns draw every archive axis: delta cadences
+# k ∈ {1,2,4}, a mid-run wiped data directory rehydrated from the archive
+# tier, object-store outages, and faulty PUTs — each run byte-checked
+# against the simulator reference like every other campaign.
+./target/release/synergy-chaos --seeds 8 --base-seed 1 --jobs 4
+
 echo "==> chaos smoke: legacy thread-per-route transport"
 # The reactor is the default; keep the legacy path honest too while it
 # remains the migration fallback.
@@ -36,9 +43,12 @@ cargo bench --no-run -q
 echo "==> bench.sh smoke (1 sample, small wire and fleet runs, throwaway record)"
 smoke_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$smoke_json"' EXIT
-BENCH_WIRE_FRAMES=2000 BENCH_FLEET_TENANTS=100 scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
+BENCH_WIRE_FRAMES=2000 BENCH_FLEET_TENANTS=100 \
+    BENCH_CHECKPOINT_ROUNDS=8 BENCH_CHECKPOINT_STATE_KIB=64 \
+    scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
 grep -q '"ms_per_mission"' "$smoke_json"
 grep -q '"wire"' "$smoke_json"
 grep -q '"fleet"' "$smoke_json"
+grep -q '"checkpoint"' "$smoke_json"
 
 echo "OK: fmt, clippy, tier-1 and bench smoke all passed"

@@ -293,3 +293,36 @@ fn deterministic_outcomes_across_identical_runs() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn delta_accounting_is_behaviour_neutral_and_shrinks_write_volume() {
+    // The incremental-checkpoint knob is accounting only: with it on, the
+    // mission must be event-for-event identical, and the chain format must
+    // write far fewer bytes than the full-image scheme it measures against.
+    let run = |delta_k: Option<u32>| {
+        let mut b = base(Scheme::Coordinated, 29)
+            .software_fault_at_secs(70.0)
+            .hardware_fault_at_secs(150.0);
+        if let Some(k) = delta_k {
+            b = b.checkpoint_delta_k(k);
+        }
+        Mission::new(b.build()).run()
+    };
+    let plain = run(None);
+    let measured = run(Some(16));
+    assert_eq!(plain.device_messages, measured.device_messages);
+    assert_eq!(plain.trace.events().len(), measured.trace.events().len());
+    let mut m = measured.metrics.clone();
+    assert_eq!(plain.metrics.stable_bytes_full, 0, "off by default");
+    assert_eq!(plain.metrics.stable_bytes_delta, 0);
+    assert!(m.stable_bytes_full > 0, "commits were accounted");
+    assert!(
+        m.stable_bytes_delta < m.stable_bytes_full,
+        "chain format writes less: {} vs {}",
+        m.stable_bytes_delta,
+        m.stable_bytes_full
+    );
+    m.stable_bytes_full = 0;
+    m.stable_bytes_delta = 0;
+    assert_eq!(m, plain.metrics, "all other metrics identical");
+}
