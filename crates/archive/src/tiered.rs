@@ -384,6 +384,13 @@ impl Stable for TieredStore {
         self.disk.latest_at_or_before_shared(seq)
     }
 
+    fn replace_latest(&mut self, checkpoint: Checkpoint) -> bool {
+        // Byzantine-lite injection corrupts the *local* tier only: the
+        // archive keeps its clean mirror (an independent replica does not
+        // follow a node's silent corruption).
+        self.disk.replace_latest(checkpoint)
+    }
+
     fn stats(&self) -> StableStats {
         self.disk.stats()
     }

@@ -1,0 +1,184 @@
+//! Unmasked-regime benchmark: detection latency and escape rate as a
+//! function of acceptance-test coverage, at a fixed bad-message plan.
+//!
+//! Every point holds the fault pressure constant — bad messages from
+//! t=30 s at rate 0.6 on a 120-second mission — and sweeps only the AT
+//! coverage knob across a fixed ladder (1.0 → 0.0). Each coverage level
+//! runs the same deterministic seed set through the simulator's regime
+//! pipeline (`run_regime_mission`, DESIGN.md §15), so the numbers answer
+//! one question: how fast does the AT catch, and how much leaks past it,
+//! as coverage degrades?
+//!
+//! Escapes are counted against the oracle run the regime pipeline diffs
+//! internally; a seed whose report under-documents its escapes
+//! (`escapes.len() < at_escapes`) aborts the bench — a silent escape is
+//! a bug, not a data point.
+//!
+//! A plain timing harness (`harness = false`).
+//!
+//! Environment knobs (all optional, used by `scripts/bench.sh`):
+//!
+//! - `BENCH_REGIME_SEEDS`: missions per coverage level (default 32).
+//! - `BENCH_JSON`: path of the JSON regression record; the run is
+//!   appended to its `"regimes"` section.
+//! - `BENCH_LABEL`, `BENCH_GIT_REV`: label and revision stored with the run.
+
+use std::fmt::Write as _;
+
+use synergy::{run_regime_mission, SystemConfig};
+use synergy_bench::record::{sanitize, BenchRecord};
+
+/// Base mission seed of the sweep; seed `BASE_SEED + i` runs at every
+/// coverage level, so the fault arrival pattern is identical across the
+/// ladder and only the AT knob moves.
+const BASE_SEED: u64 = 9000;
+
+/// Bad messages start this far into the 120-second mission.
+const BAD_AFTER_SECS: f64 = 30.0;
+
+/// Per-external probability that the active's computation is corrupted.
+const BAD_RATE: f64 = 0.6;
+
+/// The coverage ladder, full AT down to no AT, in percent (exact f64
+/// values 1.0, 0.75, 0.5, 0.25, 0.0 — integer percent keeps JSON keys
+/// stable).
+const COVERAGE_PCT: [u32; 5] = [100, 75, 50, 25, 0];
+
+fn env_or(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+struct CoveragePoint {
+    coverage_pct: u32,
+    at_catches: u64,
+    at_escapes: u64,
+    escapes_documented: u64,
+    device_messages: u64,
+    /// Mean over the seeds that detected at all.
+    mean_detection_latency_s: Option<f64>,
+    escape_rate: f64,
+}
+
+/// Runs the fixed seed set at one coverage level and aggregates.
+fn bench_coverage(coverage_pct: u32, seeds: u64) -> CoveragePoint {
+    let coverage = f64::from(coverage_pct) / 100.0;
+    let mut point = CoveragePoint {
+        coverage_pct,
+        at_catches: 0,
+        at_escapes: 0,
+        escapes_documented: 0,
+        device_messages: 0,
+        mean_detection_latency_s: None,
+        escape_rate: 0.0,
+    };
+    let mut latencies = Vec::new();
+    for i in 0..seeds {
+        let cfg = SystemConfig::builder()
+            .seed(BASE_SEED + i)
+            .duration_secs(120.0)
+            .internal_rate_per_min(60.0)
+            .external_rate_per_min(6.0)
+            .trace(false)
+            .bad_messages(BAD_AFTER_SECS, BAD_RATE)
+            .at_coverage(coverage)
+            .build();
+        let report = run_regime_mission(&cfg);
+        assert!(
+            report.escapes.len() as u64 >= report.at_escapes,
+            "seed {} at coverage {coverage_pct}%: {} AT misses but only {} documented — \
+             silent escapes invalidate the bench",
+            BASE_SEED + i,
+            report.at_escapes,
+            report.escapes.len(),
+        );
+        point.at_catches += report.at_catches;
+        point.at_escapes += report.at_escapes;
+        point.escapes_documented += report.escapes.len() as u64;
+        point.device_messages += report.device_messages as u64;
+        if let Some(lat) = report.detection_latency_secs {
+            latencies.push(lat);
+        }
+    }
+    if !latencies.is_empty() {
+        point.mean_detection_latency_s =
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64);
+    }
+    if point.device_messages > 0 {
+        point.escape_rate = point.at_escapes as f64 / point.device_messages as f64;
+    }
+    point
+}
+
+fn run_json(label: &str, git_rev: Option<&str>, seeds: u64, points: &[CoveragePoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "        \"label\": \"{}\",", sanitize(label));
+    if let Some(rev) = git_rev {
+        let _ = writeln!(s, "        \"git_rev\": \"{}\",", sanitize(rev));
+    }
+    let _ = writeln!(s, "        \"seeds\": {seeds},");
+    let _ = writeln!(s, "        \"base_seed\": {BASE_SEED},");
+    let _ = writeln!(s, "        \"bad_after_s\": {BAD_AFTER_SECS},");
+    let _ = writeln!(s, "        \"bad_rate\": {BAD_RATE},");
+    let _ = writeln!(s, "        \"coverage\": {{");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let latency = match p.mean_detection_latency_s {
+            Some(l) => format!("{l:.3}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "          \"cov_{}\": {{ \"catches\": {}, \"misses\": {}, \
+             \"documented\": {}, \"detection_latency_s\": {latency}, \
+             \"escape_rate\": {:.5} }}{comma}",
+            p.coverage_pct, p.at_catches, p.at_escapes, p.escapes_documented, p.escape_rate,
+        );
+    }
+    let _ = writeln!(s, "        }}");
+    let _ = write!(s, "      }}");
+    s
+}
+
+fn main() {
+    let seeds = env_or("BENCH_REGIME_SEEDS", 32);
+
+    let mut points = Vec::new();
+    for pct in COVERAGE_PCT {
+        let p = bench_coverage(pct, seeds);
+        let latency = match p.mean_detection_latency_s {
+            Some(l) => format!("{l:.3} s"),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "regimes/cov_{pct}: {} catches, {} misses ({} documented), \
+             detection latency {latency}, escape rate {:.5} ({seeds} seeds)",
+            p.at_catches, p.at_escapes, p.escapes_documented, p.escape_rate,
+        );
+        points.push(p);
+    }
+    let full = &points[0];
+    let none = points.last().expect("cov_0 ran");
+    println!(
+        "regimes: escape rate {:.5} at full coverage vs {:.5} with the AT off",
+        full.escape_rate, none.escape_rate
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "run".into());
+        let git_rev = std::env::var("BENCH_GIT_REV").ok();
+        let mut record = BenchRecord::load(&path);
+        let replaced =
+            record.push_regimes_run(&run_json(&label, git_rev.as_deref(), seeds, &points));
+        record.save(&path);
+        if replaced > 0 {
+            println!("regimes record appended to {path} (replaced {replaced} same-rev run)");
+        } else {
+            println!("regimes record appended to {path}");
+        }
+    }
+}

@@ -18,7 +18,8 @@
 //! }
 //! ```
 //!
-//! The `missions`, `wire` and `fleet` harnesses all append to the same
+//! The `missions`, `wire`, `fleet`, `checkpoint` and `regimes` harnesses
+//! all append to the same
 //! file; [`BenchRecord`] parses whichever sections exist, replaces
 //! same-`git_rev` runs (re-benching one commit updates its numbers instead
 //! of stacking duplicates), and renders the whole record back.
@@ -110,6 +111,8 @@ pub struct BenchRecord {
     pub fleet_runs: Vec<String>,
     /// Objects of the `"checkpoint"` section's `"runs"` array.
     pub checkpoint_runs: Vec<String>,
+    /// Objects of the `"regimes"` section's `"runs"` array.
+    pub regimes_runs: Vec<String>,
 }
 
 /// The marker opening the wire section. [`sanitize`] guarantees no string
@@ -120,8 +123,11 @@ const WIRE_KEY: &str = "\"wire\": {";
 /// section (when both exist).
 const FLEET_KEY: &str = "\"fleet\": {";
 
-/// The marker opening the checkpoint section; always rendered last.
+/// The marker opening the checkpoint section; rendered after fleet.
 const CHECKPOINT_KEY: &str = "\"checkpoint\": {";
+
+/// The marker opening the unmasked-regime section; always rendered last.
+const REGIMES_KEY: &str = "\"regimes\": {";
 
 impl BenchRecord {
     /// Loads the record at `path`; a missing or unreadable file is an
@@ -134,9 +140,13 @@ impl BenchRecord {
 
     /// Parses a rendered record.
     pub fn parse(record: &str) -> BenchRecord {
-        let (rest, checkpoint_part) = match record.find(CHECKPOINT_KEY) {
+        let (rest, regimes_part) = match record.find(REGIMES_KEY) {
             Some(pos) => record.split_at(pos),
             None => (record, ""),
+        };
+        let (rest, checkpoint_part) = match rest.find(CHECKPOINT_KEY) {
+            Some(pos) => rest.split_at(pos),
+            None => (rest, ""),
         };
         let (rest, fleet_part) = match rest.find(FLEET_KEY) {
             Some(pos) => rest.split_at(pos),
@@ -151,6 +161,7 @@ impl BenchRecord {
             wire_runs: array_objects(wire_part, "\"runs\": ["),
             fleet_runs: array_objects(fleet_part, "\"runs\": ["),
             checkpoint_runs: array_objects(checkpoint_part, "\"runs\": ["),
+            regimes_runs: array_objects(regimes_part, "\"runs\": ["),
         }
     }
 
@@ -178,9 +189,15 @@ impl BenchRecord {
         push_dedup(&mut self.checkpoint_runs, run)
     }
 
-    /// Renders the full record. The `"wire"`, `"fleet"` and `"checkpoint"`
-    /// sections are omitted while they have no runs, so mission-only
-    /// records keep their historical shape.
+    /// Appends an unmasked-regime run, replacing any prior run of the
+    /// same `git_rev`; returns how many runs were replaced.
+    pub fn push_regimes_run(&mut self, run: &str) -> usize {
+        push_dedup(&mut self.regimes_runs, run)
+    }
+
+    /// Renders the full record. The `"wire"`, `"fleet"`, `"checkpoint"`
+    /// and `"regimes"` sections are omitted while they have no runs, so
+    /// mission-only records keep their historical shape.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"bench\": \"missions\",\n  \"runs\": [\n");
         render_runs(&mut out, &self.mission_runs, "    ");
@@ -189,6 +206,7 @@ impl BenchRecord {
             (WIRE_KEY, &self.wire_runs),
             (FLEET_KEY, &self.fleet_runs),
             (CHECKPOINT_KEY, &self.checkpoint_runs),
+            (REGIMES_KEY, &self.regimes_runs),
         ] {
             if runs.is_empty() {
                 continue;
@@ -234,12 +252,32 @@ mod tests {
         rec.push_wire_run(&run("w1", Some("aaa")));
         rec.push_fleet_run(&run("f1", Some("aaa")));
         rec.push_checkpoint_run(&run("c1", Some("aaa")));
+        rec.push_regimes_run(&run("r1", Some("aaa")));
         let back = BenchRecord::parse(&rec.render());
         assert_eq!(back.mission_runs.len(), 2);
         assert_eq!(back.wire_runs.len(), 1);
         assert_eq!(back.fleet_runs.len(), 1);
         assert_eq!(back.checkpoint_runs.len(), 1);
+        assert_eq!(back.regimes_runs.len(), 1);
         assert_eq!(BenchRecord::parse(&back.render()), back);
+    }
+
+    #[test]
+    fn regimes_runs_stay_out_of_the_other_sections() {
+        let mut rec = BenchRecord::default();
+        rec.push_checkpoint_run(&run("c", Some("aaa")));
+        rec.push_regimes_run(&run("r", Some("aaa")));
+        let back = BenchRecord::parse(&rec.render());
+        assert_eq!(back.checkpoint_runs.len(), 1);
+        assert_eq!(back.regimes_runs.len(), 1);
+        assert!(back.regimes_runs[0].contains("\"label\": \"r\""));
+        // A regimes-only record (no other sections) parses too.
+        let mut solo = BenchRecord::default();
+        solo.push_regimes_run(&run("only", Some("bbb")));
+        let back = BenchRecord::parse(&solo.render());
+        assert_eq!(back.regimes_runs.len(), 1);
+        assert!(back.mission_runs.is_empty());
+        assert!(back.checkpoint_runs.is_empty());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use synergy::RegimeVerdict;
 use synergy_cluster::{
     simulate_reference_schedule, Cluster, ClusterConfig, ClusterReport, CrashEvent,
 };
@@ -39,6 +40,11 @@ pub enum CampaignOutcome {
         sim_len: usize,
         /// Index of the first differing payload, if within both streams.
         first_diff: Option<usize>,
+        /// Byte offset of the first differing byte inside that payload
+        /// (the length of the shorter payload if one is a prefix of the
+        /// other) — together with `first_diff`, the escaped-payload
+        /// localization a shrink report carries.
+        first_offset: Option<usize>,
     },
     /// The orchestrator aborted with a structured error.
     Aborted {
@@ -136,7 +142,25 @@ fn cluster_config(spec: &CampaignSpec, node_bin: &Path, run_dir: PathBuf) -> Clu
     cfg.wipe = spec.wipe;
     cfg.deltarot = spec.deltarot;
     cfg.transport = spec.transport;
+    cfg.corrupt = spec.corrupt;
     cfg
+}
+
+/// The [`RegimeVerdict`] class a campaign outcome maps to.
+///
+/// A converged campaign is the masked regime: every injected fault was
+/// absorbed without touching the observable surface. A divergence is a
+/// documented escape — corrupted or missing device bytes got past every
+/// checker, and the byte diff is the evidence. An abort is detected-and-
+/// flagged: the orchestrator saw the failure (quiesce deadline, protocol
+/// violation) and stopped with a structured error instead of letting bad
+/// output through.
+pub fn outcome_verdict(outcome: &CampaignOutcome) -> RegimeVerdict {
+    match outcome {
+        CampaignOutcome::Converged => RegimeVerdict::Masked,
+        CampaignOutcome::Diverged { .. } => RegimeVerdict::DocumentedEscape,
+        CampaignOutcome::Aborted { .. } => RegimeVerdict::DetectedAndFlagged,
+    }
 }
 
 /// A fresh per-run data directory: campaigns (and shrink re-runs of the
@@ -155,10 +179,18 @@ fn compare_streams(cluster: &[Vec<u8>], sim: &[Vec<u8>]) -> CampaignOutcome {
         return CampaignOutcome::Converged;
     }
     let first_diff = cluster.iter().zip(sim.iter()).position(|(c, s)| c != s);
+    let first_offset = first_diff.map(|i| {
+        let (c, s) = (&cluster[i], &sim[i]);
+        c.iter()
+            .zip(s.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| c.len().min(s.len()))
+    });
     CampaignOutcome::Diverged {
         cluster_len: cluster.len(),
         sim_len: sim.len(),
         first_diff,
+        first_offset,
     }
 }
 
@@ -205,28 +237,48 @@ pub fn run_campaign(spec: &CampaignSpec, node_bin: &Path, data_root: &Path) -> C
     }
 }
 
+/// A minimal reproduction found by [`shrink_failure`].
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimal spec that still reproduces the failure class.
+    pub spec: CampaignSpec,
+    /// The outcome of the minimal spec's run.
+    pub outcome: CampaignOutcome,
+    /// Fault groups removed during shrinking, in removal order. Each
+    /// name matches a `--no-<group>` runner flag, so the minimal
+    /// cocktail is reproducible from the report alone: re-run the
+    /// original (base seed, index) with these groups disabled.
+    pub removed: Vec<&'static str>,
+}
+
 /// Greedily shrinks a failing campaign: tries to drop each fault group
-/// (link → disk → bit-rot → chain-rot → archive → crash) and keeps any
-/// removal that still reproduces a failure, returning the minimal spec
-/// and its outcome. The delta cadence is mission shape, not a fault
-/// group, so a delta-mode failure shrinks while staying in delta mode.
+/// (link → disk → bit-rot → chain-rot → archive → corrupt → crash) and
+/// keeps any removal whose re-run lands in the **same verdict class**
+/// ([`outcome_verdict`]) as the original failure — a divergence must
+/// still diverge, an abort must still abort. Shrinking that swaps the
+/// failure class would "minimize" to a different bug. The delta cadence
+/// is mission shape, not a fault group, so a delta-mode failure shrinks
+/// while staying in delta mode.
 ///
-/// At most six re-runs — bounded, like everything else in the runner.
+/// At most seven re-runs — bounded, like everything else in the runner.
 pub fn shrink_failure(
     spec: &CampaignSpec,
     failing_outcome: &CampaignOutcome,
     node_bin: &Path,
     data_root: &Path,
-) -> (CampaignSpec, CampaignOutcome) {
+) -> ShrinkReport {
+    let class = outcome_verdict(failing_outcome);
     let mut current = spec.clone();
     let mut outcome = failing_outcome.clone();
+    let mut removed = Vec::new();
     type Removal = (&'static str, fn(&mut CampaignSpec));
-    let removals: [Removal; 6] = [
+    let removals: [Removal; 7] = [
         ("link", CampaignSpec::disable_link),
         ("disk", CampaignSpec::disable_disk),
         ("bitrot", CampaignSpec::disable_bitrot),
         ("deltarot", CampaignSpec::disable_deltarot),
         ("archive", CampaignSpec::disable_archive),
+        ("corrupt", CampaignSpec::disable_corrupt),
         ("crash", CampaignSpec::disable_crash),
     ];
     for (group, remove) in removals {
@@ -237,6 +289,7 @@ pub fn shrink_failure(
             "bitrot" => toggles.bitrot,
             "deltarot" => toggles.deltarot,
             "archive" => toggles.archive,
+            "corrupt" => toggles.corrupt,
             _ => toggles.crash,
         };
         if !active {
@@ -245,12 +298,17 @@ pub fn shrink_failure(
         let mut candidate = current.clone();
         remove(&mut candidate);
         let result = run_campaign(&candidate, node_bin, data_root);
-        if !result.outcome.is_converged() {
+        if outcome_verdict(&result.outcome) == class {
             current = candidate;
             outcome = result.outcome;
+            removed.push(group);
         }
     }
-    (current, outcome)
+    ShrinkReport {
+        spec: current,
+        outcome,
+        removed,
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +355,7 @@ mod tests {
                 line: 1,
                 rollback_epochs: 1,
                 rollbacks: vec![(1, Some(1), 0), (2, Some(1), 0), (3, Some(1), 0)],
+                corrupted_epoch: None,
             }],
             final_status: vec![(1, status(4, 2)), (2, status(3, 0)), (3, status(0, 1))],
         };
@@ -322,16 +381,35 @@ mod tests {
 
     #[test]
     fn divergence_reports_the_first_differing_payload() {
-        let cluster = vec![vec![1], vec![9], vec![3]];
-        let sim = vec![vec![1], vec![2], vec![3]];
+        let cluster = vec![vec![1], vec![0, 9], vec![3]];
+        let sim = vec![vec![1], vec![0, 2], vec![3]];
         match compare_streams(&cluster, &sim) {
             CampaignOutcome::Diverged {
                 cluster_len,
                 sim_len,
                 first_diff,
+                first_offset,
             } => {
                 assert_eq!((cluster_len, sim_len), (3, 3));
                 assert_eq!(first_diff, Some(1));
+                assert_eq!(first_offset, Some(1));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_length_mismatch_localizes_to_the_shorter_length() {
+        let cluster = vec![vec![1, 2, 3]];
+        let sim = vec![vec![1, 2]];
+        match compare_streams(&cluster, &sim) {
+            CampaignOutcome::Diverged {
+                first_diff,
+                first_offset,
+                ..
+            } => {
+                assert_eq!(first_diff, Some(0));
+                assert_eq!(first_offset, Some(2));
             }
             other => panic!("expected divergence, got {other:?}"),
         }
@@ -346,11 +424,36 @@ mod tests {
                 cluster_len,
                 sim_len,
                 first_diff,
+                first_offset,
             } => {
                 assert_eq!((cluster_len, sim_len), (2, 3));
                 assert_eq!(first_diff, None);
+                assert_eq!(first_offset, None);
             }
             other => panic!("expected divergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn outcomes_map_onto_verdict_classes() {
+        assert_eq!(
+            outcome_verdict(&CampaignOutcome::Converged),
+            RegimeVerdict::Masked
+        );
+        assert_eq!(
+            outcome_verdict(&CampaignOutcome::Diverged {
+                cluster_len: 1,
+                sim_len: 1,
+                first_diff: Some(0),
+                first_offset: Some(8),
+            }),
+            RegimeVerdict::DocumentedEscape
+        );
+        assert_eq!(
+            outcome_verdict(&CampaignOutcome::Aborted {
+                reason: "quiesce deadline".into()
+            }),
+            RegimeVerdict::DetectedAndFlagged
+        );
     }
 }

@@ -22,12 +22,21 @@
 //! * [`plan`] — deterministic campaign generation from a base seed.
 //! * [`campaign`] — one campaign end-to-end (cluster run + simulator
 //!   reference + byte comparison), fault accounting, and the shrinker.
+//! * [`regime`] — unmasked-regime sweeps: seeded simulator campaigns per
+//!   fault regime (AT catches, seeded escapes, clock-resync violations,
+//!   Byzantine-lite nodes), each classified into a
+//!   [`RegimeVerdict`](synergy::RegimeVerdict).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod plan;
+pub mod regime;
 
-pub use campaign::{run_campaign, shrink_failure, CampaignOutcome, CampaignResult, FaultSummary};
+pub use campaign::{
+    outcome_verdict, run_campaign, shrink_failure, CampaignOutcome, CampaignResult, FaultSummary,
+    ShrinkReport,
+};
 pub use plan::{CampaignSpec, CampaignToggles};
+pub use regime::{RegimeKind, RegimeRow, RegimeSummary, RegimeSweep};

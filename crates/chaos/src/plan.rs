@@ -43,6 +43,10 @@ pub struct CampaignToggles {
     /// Archive-tier faults: object-store outages, PUT failures, and the
     /// wiped-disk rehydration axis (delta-mode campaigns).
     pub archive: bool,
+    /// Byzantine-lite value corruption of a node's latest checkpoint
+    /// behind a valid CRC (unmasked-regime campaigns only — the masked
+    /// sweep never draws it).
+    pub corrupt: bool,
 }
 
 impl Default for CampaignToggles {
@@ -54,6 +58,7 @@ impl Default for CampaignToggles {
             bitrot: true,
             deltarot: true,
             archive: true,
+            corrupt: true,
         }
     }
 }
@@ -91,6 +96,12 @@ pub struct CampaignSpec {
     /// Whether the victim's whole data directory is wiped at the kill,
     /// forcing a full rehydration from the archive tier.
     pub wipe: bool,
+    /// Byzantine-lite target: flip value bytes inside this node's latest
+    /// committed checkpoint (behind a valid CRC) before the first crash's
+    /// global rollback. `None` for the masked sweep; regime campaigns set
+    /// node 0 so the restored lie reaches the device stream and the
+    /// cluster-vs-sim diff documents the escape.
+    pub corrupt: Option<usize>,
     /// Which live-wire transport the cluster's nodes run. Not part of the
     /// fault cocktail: the campaign must converge byte-identically on
     /// either wire, which is exactly what the sweep checks.
@@ -257,6 +268,7 @@ impl CampaignSpec {
             deltarot,
             archive,
             wipe,
+            corrupt: None,
             transport: WireKind::default(),
         };
         if !toggles.link {
@@ -277,7 +289,55 @@ impl CampaignSpec {
         if !toggles.crash {
             spec.disable_crash();
         }
+        if !toggles.corrupt {
+            spec.disable_corrupt();
+        }
         spec
+    }
+
+    /// Generates unmasked-regime cluster campaign `index`: a Byzantine-lite
+    /// value corruption of the active's latest checkpoint riding on a
+    /// scheduled crash, on its own seed family (the `"regime-cluster"`
+    /// stream) so regime sweeps never collide with the masked sweep.
+    ///
+    /// The cocktail is deliberately minimal — no link or disk chaos — so
+    /// the *only* unmasked ingredient is the corruption, and the
+    /// cluster-vs-sim diff attributes every divergent byte to it. Legacy
+    /// store only (`delta_k = 0`): delta chains refuse to rewrite committed
+    /// history, which would silently un-inject the axis.
+    pub fn generate_byzantine(base_seed: u64, index: u64) -> CampaignSpec {
+        let root = DetRng::new(base_seed);
+        let mut rng = root.stream_indexed("regime-cluster", index);
+        let steps = rng.gen_range(6u64..=9) as u32;
+        let rounds = grid_rounds(steps, CAMPAIGN_DELTA_SECS);
+        let kind = match index % 3 {
+            0 => CrashKind::MidRound,
+            1 => CrashKind::RoundStart,
+            _ => CrashKind::DoubleKill,
+        };
+        // Epoch ≥ 2 so node 0 holds a committed checkpoint to corrupt and
+        // the rollback has a line strictly behind the crash round.
+        let crash = CrashEvent {
+            victim: NodeId::P2,
+            epoch: rng.gen_range(2..=rounds.max(2)),
+            kind,
+        };
+        CampaignSpec {
+            seed: base_seed.wrapping_add(index),
+            steps,
+            internal_traffic: rng.gen_bool(0.5),
+            tb_interval_secs: CAMPAIGN_DELTA_SECS,
+            crash: Some(crash),
+            link: LinkFaultPlan::inert(rng.next_u64()),
+            disk: vec![DiskFaultPlan::inert(); NodeId::ALL.len()],
+            bitrot: false,
+            delta_k: 0,
+            deltarot: false,
+            archive: vec![ArchiveFaultPlan::inert(); NodeId::ALL.len()],
+            wipe: false,
+            corrupt: Some(NodeId::P1Act.index()),
+            transport: WireKind::default(),
+        }
     }
 
     /// Removes the link-fault group (wire becomes a passthrough).
@@ -312,13 +372,20 @@ impl CampaignSpec {
         self.wipe = false;
     }
 
+    /// Removes the Byzantine-lite checkpoint corruption.
+    pub fn disable_corrupt(&mut self) {
+        self.corrupt = None;
+    }
+
     /// Removes the scheduled crash (and with it the bit-rot, chain-rot,
-    /// and wipe, which all ride on the victim's restart).
+    /// wipe, and checkpoint corruption, which all ride on a crash's
+    /// global rollback).
     pub fn disable_crash(&mut self) {
         self.crash = None;
         self.bitrot = false;
         self.deltarot = false;
         self.wipe = false;
+        self.corrupt = None;
     }
 
     /// Which fault groups the spec still carries, for shrink ordering.
@@ -330,6 +397,7 @@ impl CampaignSpec {
             bitrot: self.bitrot,
             deltarot: self.deltarot,
             archive: self.wipe || self.archive.iter().any(|p| !p.is_inert()),
+            corrupt: self.corrupt.is_some(),
         }
     }
 
@@ -359,6 +427,9 @@ impl CampaignSpec {
         }
         if self.deltarot {
             parts.push("deltarot".to_string());
+        }
+        if let Some(node) = self.corrupt {
+            parts.push(format!("corrupt:n{node}"));
         }
         if self.wipe {
             parts.push("wipe".to_string());
@@ -473,6 +544,7 @@ mod tests {
                 bitrot: false,
                 deltarot: false,
                 archive: false,
+                corrupt: false,
             },
         );
         assert_eq!(bare.steps, full.steps, "mission shape preserved");
@@ -501,6 +573,29 @@ mod tests {
         assert!(saw.1, "some campaigns rot a chain record");
         assert!(saw.2, "some campaigns wipe the victim's disk");
         assert!(saw.3, "some campaigns fault the archive tier");
+    }
+
+    #[test]
+    fn the_masked_sweep_never_draws_the_corrupt_axis() {
+        for index in 0..64 {
+            let spec = CampaignSpec::generate(99, index, CampaignToggles::default());
+            assert_eq!(spec.corrupt, None, "corruption is a regime axis");
+        }
+    }
+
+    #[test]
+    fn byzantine_campaigns_are_deterministic_and_well_formed() {
+        for index in 0..8 {
+            let a = CampaignSpec::generate_byzantine(5, index);
+            let b = CampaignSpec::generate_byzantine(5, index);
+            assert_eq!(a, b);
+            assert_eq!(a.corrupt, Some(NodeId::P1Act.index()));
+            assert_eq!(a.delta_k, 0, "corruption needs the legacy store");
+            assert!(a.link.is_inert(), "the only unmasked axis is the flip");
+            assert!(a.disk.iter().all(|p| p.is_inert()));
+            let crash = a.crash.expect("corruption rides on a crash");
+            assert!(crash.epoch >= 2, "node 0 must hold a committed record");
+        }
     }
 
     #[test]

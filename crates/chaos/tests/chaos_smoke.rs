@@ -5,7 +5,10 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use synergy_chaos::{run_campaign, CampaignSpec, CampaignToggles};
+use synergy::RegimeVerdict;
+use synergy_chaos::{
+    outcome_verdict, run_campaign, CampaignOutcome, CampaignSpec, CampaignToggles,
+};
 
 fn unique_dir(label: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -60,6 +63,7 @@ fn fault_free_campaign_converges() {
             bitrot: false,
             deltarot: false,
             archive: false,
+            corrupt: false,
         },
     );
     let result = run_campaign(&spec, &node_bin(), &data_root);
@@ -71,5 +75,33 @@ fn fault_free_campaign_converges() {
     let faults = result.faults.expect("fault summary present");
     assert_eq!(faults.chaos_drops, 0);
     assert_eq!(faults.recoveries, 0);
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+/// A Byzantine-lite campaign must *diverge* from the reference — the
+/// global rollback restores node 0's value-flipped checkpoint, and every
+/// external the active produces afterwards carries the lie to the device.
+/// The divergence localizes to the accumulator bytes (offset 8 of the
+/// 17-byte external payload) and classifies as a documented escape.
+#[test]
+fn byzantine_campaign_documents_the_escape() {
+    let data_root = unique_dir("byz");
+    let spec = CampaignSpec::generate_byzantine(7, 0);
+    let result = run_campaign(&spec, &node_bin(), &data_root);
+    match &result.outcome {
+        CampaignOutcome::Diverged {
+            first_diff,
+            first_offset,
+            ..
+        } => {
+            assert!(first_diff.is_some(), "the lie reaches a shared payload");
+            assert_eq!(*first_offset, Some(8), "acc bytes start at offset 8");
+        }
+        other => panic!("expected the escape to diverge, got {other:?}"),
+    }
+    assert_eq!(
+        outcome_verdict(&result.outcome),
+        RegimeVerdict::DocumentedEscape
+    );
     let _ = std::fs::remove_dir_all(&data_root);
 }

@@ -179,6 +179,29 @@ impl ClockFleet {
         self.last_resync = now;
         self.resync_count += 1;
     }
+
+    /// Models a *failed* resynchronization of node `i`: its clock is stepped
+    /// to `excess` beyond the slowest clock's reading plus `δ`, so the fleet's
+    /// pairwise deviation is at least `δ + excess` — strictly outside the
+    /// envelope [`resync_all`](Self::resync_all) guarantees and the envelope
+    /// the TB blocking-period formula assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn inject_skew(&mut self, i: usize, excess: SimDuration, now: SimTime) {
+        let slowest = self
+            .clocks
+            .iter()
+            .map(|c| c.read(now))
+            .min()
+            .expect("fleet is non-empty");
+        let target = slowest + self.params.delta + excess;
+        let drift = self.clocks[i].drift();
+        let current = self.clocks[i].read(now);
+        // Stepping forward only (DriftingClock::resync clamps monotonic).
+        self.clocks[i].resync(now, target.max(current), drift);
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +280,24 @@ mod tests {
     #[should_panic(expected = "at least one clock")]
     fn empty_fleet_rejected() {
         let _ = ClockFleet::perfect(0);
+    }
+
+    #[test]
+    fn injected_skew_violates_delta_until_next_resync() {
+        let mut fleet = ClockFleet::generate(3, params(), &DetRng::new(5));
+        let t = SimTime::from_secs_f64(10.0);
+        fleet.resync_all(t);
+        assert!(fleet.max_pairwise_deviation(t) <= params().delta);
+        let excess = SimDuration::from_micros(300);
+        fleet.inject_skew(1, excess, t);
+        let dev = fleet.max_pairwise_deviation(t);
+        assert!(
+            dev >= params().delta + excess,
+            "deviation {dev:?} not beyond delta+excess"
+        );
+        // A (successful) resync restores the bound.
+        let later = t + SimDuration::from_secs(1);
+        fleet.resync_all(later);
+        assert!(fleet.max_pairwise_deviation(later) <= params().delta);
     }
 }

@@ -62,6 +62,12 @@ pub enum CtrlMsg {
         /// Application payload size per envelope.
         payload_bytes: u64,
     },
+    /// Unmasked-regime hook (Byzantine-lite): flip value bytes inside the
+    /// node's latest committed stable checkpoint and re-encode it in place
+    /// behind a valid CRC. Every integrity check between the flip and the
+    /// next rollback passes; only a device-stream diff against the simulator
+    /// oracle can see the lie.
+    Corrupt,
 }
 
 /// Node → orchestrator replies.
@@ -114,6 +120,13 @@ pub enum CtrlReply {
         sent: u64,
         /// Envelopes dropped after the bounded backpressure-retry budget.
         backpressure: u64,
+    },
+    /// Reply to [`CtrlMsg::Corrupt`].
+    Corrupted {
+        /// Epoch of the checkpoint whose payload was flipped (`None`: no
+        /// committed checkpoint, undecodable payload, or a backend that
+        /// cannot rewrite committed history — the flip did not happen).
+        epoch: Option<u64>,
     },
 }
 
@@ -217,6 +230,7 @@ impl Codec for CtrlMsg {
                 frames.encode(out);
                 payload_bytes.encode(out);
             }
+            CtrlMsg::Corrupt => 8u32.encode(out),
         }
     }
 
@@ -241,6 +255,7 @@ impl Codec for CtrlMsg {
                 frames: u64::decode(r)?,
                 payload_bytes: u64::decode(r)?,
             }),
+            8 => Ok(CtrlMsg::Corrupt),
             other => Err(CodecError::InvalidVariant(other)),
         }
     }
@@ -289,6 +304,10 @@ impl Codec for CtrlReply {
                 sent.encode(out);
                 backpressure.encode(out);
             }
+            CtrlReply::Corrupted { epoch } => {
+                7u32.encode(out);
+                epoch.encode(out);
+            }
         }
     }
 
@@ -316,6 +335,9 @@ impl Codec for CtrlReply {
             6 => Ok(CtrlReply::Blasted {
                 sent: u64::decode(r)?,
                 backpressure: u64::decode(r)?,
+            }),
+            7 => Ok(CtrlReply::Corrupted {
+                epoch: Option::<u64>::decode(r)?,
             }),
             other => Err(CodecError::InvalidVariant(other)),
         }
@@ -385,6 +407,7 @@ mod tests {
             frames: 4000,
             payload_bytes: 16384,
         });
+        roundtrip(CtrlMsg::Corrupt);
     }
 
     #[test]
@@ -428,6 +451,8 @@ mod tests {
             sent: 3990,
             backpressure: 10,
         });
+        roundtrip(CtrlReply::Corrupted { epoch: Some(6) });
+        roundtrip(CtrlReply::Corrupted { epoch: None });
     }
 
     #[test]

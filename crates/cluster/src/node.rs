@@ -251,6 +251,15 @@ impl Stable for NodeStore {
         }
     }
 
+    fn replace_latest(&mut self, checkpoint: Checkpoint) -> bool {
+        match self {
+            NodeStore::Legacy(s) => s.replace_latest(checkpoint),
+            // Delta chains CRC-link records; rewriting committed history is
+            // not representable, so injection reports unsupported here.
+            NodeStore::Delta(s) => s.replace_latest(checkpoint),
+        }
+    }
+
     fn stats(&self) -> StableStats {
         match self {
             NodeStore::Legacy(s) => s.stats(),
@@ -610,6 +619,14 @@ pub fn run_node(opts: &NodeOpts) -> io::Result<()> {
                     sent,
                     backpressure: rejected,
                 }
+            }
+            CtrlMsg::Corrupt => {
+                let (tx, rx) = channel();
+                send_cmd(&input_tx, NodeCmd::Corrupt(tx))?;
+                let epoch = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "node loop gone"))?;
+                CtrlReply::Corrupted { epoch }
             }
             CtrlMsg::Shutdown => {
                 send_cmd(&input_tx, NodeCmd::Shutdown)?;

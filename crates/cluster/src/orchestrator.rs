@@ -226,6 +226,16 @@ pub struct ClusterConfig {
     /// image exists, so the newest record — the rollback restore target —
     /// still replays and the device stream is unchanged).
     pub deltarot: bool,
+    /// Byzantine-lite value corruption (unmasked regime, axis 4): before
+    /// the first crash's global rollback, command node `corrupt` to flip
+    /// value bytes inside its *latest* committed checkpoint behind a valid
+    /// CRC. Unlike `bitrot`, this is *designed* to change the device
+    /// stream — the rollback restores the lie (corrupting node 0 poisons
+    /// the active's state, whose payloads reach the device), and the
+    /// campaign's diff against the simulator reference documents the
+    /// escape. Requires the legacy store (`delta_k == 0`); delta chains
+    /// refuse to rewrite committed history.
+    pub corrupt: Option<usize>,
     /// Which live-wire transport every node (and the orchestrator's device
     /// endpoint) runs: the sharded reactor by default, or the legacy
     /// thread-per-route transport.
@@ -266,6 +276,7 @@ impl ClusterConfig {
             archive_plans: Vec::new(),
             wipe: false,
             deltarot: false,
+            corrupt: None,
             transport: WireKind::default(),
             wire_queue_bytes: None,
             node_bin,
@@ -295,6 +306,10 @@ pub struct KillReport {
     /// Whether the victim's data directory was wiped while it was down,
     /// forcing its restart to rehydrate tier 0 from the archive.
     pub wiped: bool,
+    /// Epoch of the checkpoint the Byzantine-lite injection value-flipped
+    /// on the restarted victim before the rollback (`None`: no injection
+    /// this round).
+    pub corrupted_epoch: Option<u64>,
     /// The epoch line the orchestrator computed for the global rollback.
     pub line: u64,
     /// Rollback distance in grid epochs: the torn round minus the line.
@@ -443,6 +458,7 @@ pub struct Cluster {
     nodes: Vec<NodeHandle>,
     bitrot_injected: bool,
     deltarot_injected: bool,
+    corrupt_injected: bool,
     wiped: bool,
 }
 
@@ -454,6 +470,16 @@ impl Cluster {
     /// Process-spawn, socket, or control-protocol failures — all bounded
     /// by the configured timeouts.
     pub fn launch(cfg: ClusterConfig) -> Result<Self, ClusterError> {
+        // The Byzantine-lite target indexes the node table; surface a bad
+        // index as the same typed error the simulator's plan validation
+        // raises, instead of panicking at the first crash round.
+        if let Some(target) = cfg.corrupt {
+            if NodeId::from_index(target).is_none() {
+                return Err(ClusterError::Launch {
+                    detail: synergy::FaultPlanError::NodeOutOfRange { node: target }.to_string(),
+                });
+            }
+        }
         let sock = |e: io::Error| ClusterError::Launch {
             detail: format!("orchestrator sockets: {e}"),
         };
@@ -473,6 +499,7 @@ impl Cluster {
             nodes: Vec::new(),
             bitrot_injected: false,
             deltarot_injected: false,
+            corrupt_injected: false,
             wiped: false,
         };
         for node in NodeId::ALL {
@@ -936,6 +963,32 @@ impl Cluster {
         let victim = ev.victim.index();
         let mut victim_began_writing = false;
 
+        // Byzantine-lite: before this round commits, the target node
+        // value-flips its *latest committed* checkpoint behind a fresh
+        // valid CRC. At this instant that record's epoch equals the epoch
+        // line the rollback below will compute (the victim reloads to the
+        // previous round), so the global rollback restores the lie on the
+        // corrupted node — and, with node 0 targeted, every external the
+        // active produces afterwards carries the flipped state to the
+        // device. Injecting after the commit would corrupt a record above
+        // the line, which the rollback would never read: a silent flip.
+        let mut corrupted_epoch = None;
+        if let Some(target) = self.cfg.corrupt {
+            if !self.corrupt_injected {
+                match self.nodes[target].roundtrip(&CtrlMsg::Corrupt, ctrl_timeout)? {
+                    CtrlReply::Corrupted { epoch } => {
+                        corrupted_epoch = epoch;
+                        self.corrupt_injected = epoch.is_some();
+                    }
+                    other => {
+                        return Err(ClusterError::Protocol {
+                            detail: format!("bad corrupt reply {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+
         match ev.kind {
             CrashKind::RoundStart => {
                 // The victim dies idle, before the round touches it; the
@@ -1055,6 +1108,7 @@ impl Cluster {
             reload_torn_writes: reload_torn,
             reload_corrupt_records: reload_corrupt,
             wiped,
+            corrupted_epoch,
             line,
             rollback_epochs: ev.epoch.saturating_sub(line),
             rollbacks,
@@ -1188,5 +1242,29 @@ fn expect_done(reply: CtrlReply) -> Result<(), ClusterError> {
         Err(ClusterError::Protocol {
             detail: format!("expected Done, got {reply:?}"),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_rejects_an_out_of_range_corrupt_target() {
+        let mut cfg = ClusterConfig::new(
+            1,
+            3,
+            1.7,
+            PathBuf::from("/nonexistent/synergy-node"),
+            std::env::temp_dir().join("synergy-corrupt-validate"),
+        );
+        cfg.corrupt = Some(9);
+        match Cluster::launch(cfg) {
+            Err(ClusterError::Launch { detail }) => {
+                assert!(detail.contains("node index 9 out of range"), "{detail}");
+            }
+            Err(other) => panic!("expected a typed launch rejection, got {other:?}"),
+            Ok(_) => panic!("launch must reject the bad corrupt target"),
+        }
     }
 }

@@ -45,6 +45,21 @@ pub struct Verdicts {
     pub violations: Vec<Violation>,
     /// How many global checks were executed.
     pub checks_run: u64,
+    /// Unmasked-regime evidence: corrupt external payloads the acceptance
+    /// test caught (each triggers detected takeover, not silent masking).
+    pub at_catches: u64,
+    /// Corrupt external payloads the acceptance test missed (seeded false
+    /// negatives); each one reaches the device.
+    pub at_escapes: u64,
+    /// Resynchronizations that left the clock fleet outside the δ bound.
+    pub resync_violations: u64,
+    /// Hardware recoveries whose epoch line was computed while the clock
+    /// bound was violated (the line is provably stale).
+    pub stale_epoch_lines: u64,
+    /// Byzantine-lite valid-CRC checkpoint corruptions injected.
+    pub byz_corruptions: u64,
+    /// Escapes localized against an oracle device stream, in stream order.
+    pub escapes: Vec<crate::regime::EscapeRecord>,
 }
 
 impl Verdicts {
@@ -61,10 +76,17 @@ impl Verdicts {
             .collect()
     }
 
-    /// Merges another set of verdicts into this one.
+    /// Merges another set of verdicts into this one (used both within a run
+    /// and to accumulate parallel seed sweeps).
     pub fn merge(&mut self, other: Verdicts) {
         self.violations.extend(other.violations);
         self.checks_run += other.checks_run;
+        self.at_catches += other.at_catches;
+        self.at_escapes += other.at_escapes;
+        self.resync_violations += other.resync_violations;
+        self.stale_epoch_lines += other.stale_epoch_lines;
+        self.byz_corruptions += other.byz_corruptions;
+        self.escapes.extend(other.escapes);
     }
 }
 
@@ -413,6 +435,8 @@ mod tests {
     fn verdict_merge_accumulates() {
         let mut a = Verdicts {
             checks_run: 1,
+            at_catches: 2,
+            at_escapes: 1,
             ..Verdicts::default()
         };
         let b = Verdicts {
@@ -421,10 +445,68 @@ mod tests {
                 property: "consistency",
                 detail: "x".into(),
             }],
+            ..Verdicts::default()
         };
         a.merge(b);
         assert_eq!(a.checks_run, 3);
         assert!(!a.all_hold());
+        assert_eq!(a.at_catches, 2);
+        assert_eq!(a.at_escapes, 1);
+    }
+
+    #[test]
+    fn verdict_merge_accumulates_regime_counters_across_sweeps() {
+        // Model a parallel seed sweep: each seed yields its own Verdicts and
+        // the sweep driver folds them together with merge().
+        use crate::regime::EscapeRecord;
+        let per_seed = [
+            Verdicts {
+                at_catches: 3,
+                resync_violations: 1,
+                ..Verdicts::default()
+            },
+            Verdicts {
+                at_escapes: 2,
+                stale_epoch_lines: 1,
+                byz_corruptions: 1,
+                escapes: vec![EscapeRecord {
+                    index: 5,
+                    offset: 16,
+                }],
+                ..Verdicts::default()
+            },
+            Verdicts {
+                at_catches: 1,
+                at_escapes: 1,
+                escapes: vec![EscapeRecord {
+                    index: 0,
+                    offset: 8,
+                }],
+                ..Verdicts::default()
+            },
+        ];
+        let mut total = Verdicts::default();
+        for v in per_seed {
+            total.merge(v);
+        }
+        assert_eq!(total.at_catches, 4);
+        assert_eq!(total.at_escapes, 3);
+        assert_eq!(total.resync_violations, 1);
+        assert_eq!(total.stale_epoch_lines, 1);
+        assert_eq!(total.byz_corruptions, 1);
+        assert_eq!(
+            total.escapes,
+            vec![
+                EscapeRecord {
+                    index: 5,
+                    offset: 16
+                },
+                EscapeRecord {
+                    index: 0,
+                    offset: 8
+                },
+            ]
+        );
     }
 
     #[test]

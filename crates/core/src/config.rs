@@ -8,6 +8,9 @@ use synergy_storage::DiskModel;
 use synergy_tb::TbVariant;
 
 use crate::faults::{FaultPlan, HardwareFault, SoftwareFault};
+use crate::regime::{
+    AtCoveragePlan, BadMessagePlan, ByzantinePlan, RegimePlan, ResyncViolationPlan,
+};
 
 /// How the software and hardware fault-tolerance protocols are combined.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,6 +99,11 @@ pub struct SystemConfig {
     /// scenarios); they fire once at the given instants, on top of (or, with
     /// zero rates, instead of) the Poisson workload.
     pub scripted_sends: Vec<ScriptedSend>,
+    /// Unmasked-regime injection plan (bad messages, AT false negatives,
+    /// resync violations, Byzantine-lite corruption). Defaults to
+    /// [`RegimePlan::none`]; a masked run is byte-identical with the field
+    /// present or absent.
+    pub regime: RegimePlan,
 }
 
 /// One scripted application send.
@@ -113,6 +121,30 @@ impl SystemConfig {
     /// Starts building a configuration from defaults.
     pub fn builder() -> SystemConfigBuilder {
         SystemConfigBuilder::default()
+    }
+
+    /// Validates the full injection surface — the fault plan and the
+    /// regime plan — returning the first structured error. `System::new`
+    /// calls this and panics on failure (a hand-built config is a
+    /// programming error); chaos and cluster callers validate ahead of
+    /// time and surface the typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FaultPlanError`](crate::FaultPlanError) in the fault
+    /// plan, then the regime plan.
+    pub fn validate(&self) -> Result<(), crate::FaultPlanError> {
+        self.faults.validate()?;
+        self.regime.validate()
+    }
+
+    /// The oracle twin of this configuration: identical in every respect
+    /// except that the regime plan is cleared. Diffing a regime run's device
+    /// stream against its oracle's counts and localizes escapes.
+    pub fn oracle(&self) -> SystemConfig {
+        let mut cfg = self.clone();
+        cfg.regime = RegimePlan::none();
+        cfg
     }
 }
 
@@ -142,6 +174,7 @@ impl Default for SystemConfigBuilder {
                 trace: true,
                 checkpoint_delta_k: None,
                 scripted_sends: Vec::new(),
+                regime: RegimePlan::none(),
             },
         }
     }
@@ -284,6 +317,52 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Installs a complete unmasked-regime plan (used by the chaos
+    /// generator, which assembles plans axis by axis).
+    pub fn regime(mut self, plan: RegimePlan) -> Self {
+        self.cfg.regime = plan;
+        self
+    }
+
+    /// Regime axis 1: after `after_secs`, the active process corrupts each
+    /// external payload with probability `rate`; the acceptance test catches
+    /// every corruption unless [`at_coverage`](Self::at_coverage) lowers it.
+    pub fn bad_messages(mut self, after_secs: f64, rate: f64) -> Self {
+        self.cfg.regime.bad_messages = Some(BadMessagePlan {
+            after: SimTime::from_secs_f64(after_secs),
+            rate,
+        });
+        self
+    }
+
+    /// Regime axis 2: seeded AT coverage knob — a corrupt payload escapes to
+    /// the device with probability `1 - coverage`.
+    pub fn at_coverage(mut self, coverage: f64) -> Self {
+        self.cfg.regime.at_coverage = Some(AtCoveragePlan { coverage });
+        self
+    }
+
+    /// Regime axis 3: after `after_secs`, resynchronizations leave `node`'s
+    /// clock `excess` beyond the δ envelope.
+    pub fn resync_violation(mut self, after_secs: f64, excess: SimDuration, node: usize) -> Self {
+        self.cfg.regime.resync_violation = Some(ResyncViolationPlan {
+            after: SimTime::from_secs_f64(after_secs),
+            excess,
+            node,
+        });
+        self
+    }
+
+    /// Regime axis 4: at `at_secs`, flip value bytes in `node`'s latest
+    /// stable checkpoint behind a valid CRC.
+    pub fn byzantine_flip(mut self, at_secs: f64, node: usize) -> Self {
+        self.cfg.regime.byzantine = Some(ByzantinePlan {
+            at: SimTime::from_secs_f64(at_secs),
+            node,
+        });
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SystemConfig {
         self.cfg
@@ -331,6 +410,29 @@ mod tests {
         assert_eq!(cfg.external_rate_hz, 0.05);
         assert_eq!(cfg.faults.hardware.len(), 1);
         assert!(cfg.faults.software.is_some());
+    }
+
+    #[test]
+    fn validate_covers_fault_and_regime_plans() {
+        let ok = SystemConfig::builder().bad_messages(10.0, 0.5).build();
+        assert_eq!(ok.validate(), Ok(()));
+        let bad_rate = SystemConfig::builder().bad_messages(10.0, 1.5).build();
+        assert!(bad_rate.validate().is_err());
+        let bad_node = SystemConfig::builder().byzantine_flip(10.0, 9).build();
+        assert!(matches!(
+            bad_node.validate(),
+            Err(crate::FaultPlanError::NodeOutOfRange { node: 9 })
+        ));
+        let bad_fault = SystemConfig::builder()
+            .hardware_fault(HardwareFault {
+                at: SimTime::from_secs_f64(5.0),
+                node: 7,
+            })
+            .build();
+        assert!(matches!(
+            bad_fault.validate(),
+            Err(crate::FaultPlanError::NodeOutOfRange { node: 7 })
+        ));
     }
 
     #[test]

@@ -104,18 +104,56 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Validates node indices.
+    /// Validates node indices, returning a structured error instead of
+    /// aborting so chaos/cluster callers can surface malformed plans.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any hardware fault names a node outside the [`NodeId`]
-    /// mapping.
-    pub fn validate(&self) {
+    /// Returns [`FaultPlanError::NodeOutOfRange`] if any hardware fault names
+    /// a node outside the [`NodeId`] mapping.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         for f in &self.hardware {
-            assert!(f.node_id().is_some(), "node index {} out of range", f.node);
+            if f.node_id().is_none() {
+                return Err(FaultPlanError::NodeOutOfRange { node: f.node });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural problems in a [`FaultPlan`] or regime plan, reported as typed
+/// errors rather than panics so callers (chaos generator, cluster
+/// orchestrator, CLI flag parsing) can propagate them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A fault names a node index outside the [`NodeId`] mapping.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+    },
+    /// A probability or magnitude knob is outside its valid range.
+    RateOutOfRange {
+        /// Which knob.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::NodeOutOfRange { node } => {
+                write!(f, "node index {node} out of range (valid: 0..=2)")
+            }
+            FaultPlanError::RateOutOfRange { what, value } => {
+                write!(f, "{what} out of range: {value}")
+            }
         }
     }
 }
+
+impl std::error::Error for FaultPlanError {}
 
 #[cfg(test)]
 mod tests {
@@ -126,7 +164,7 @@ mod tests {
         let p = FaultPlan::none();
         assert!(p.software.is_none());
         assert!(p.hardware.is_empty());
-        p.validate();
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]
@@ -146,8 +184,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_node_rejected() {
+    fn bad_node_rejected_as_typed_error() {
         let p = FaultPlan {
             software: None,
             hardware: vec![HardwareFault {
@@ -155,6 +192,8 @@ mod tests {
                 node: 9,
             }],
         };
-        p.validate();
+        let err = p.validate().unwrap_err();
+        assert_eq!(err, FaultPlanError::NodeOutOfRange { node: 9 });
+        assert!(err.to_string().contains("out of range"));
     }
 }

@@ -50,6 +50,7 @@ pub mod faults;
 pub mod metrics;
 pub mod model;
 pub mod payload;
+pub mod regime;
 pub mod roles;
 pub mod scenario;
 pub mod system;
@@ -58,8 +59,13 @@ pub mod workload;
 pub use app::{Application, CounterApp};
 pub use checkers::{GlobalChecker, Verdicts};
 pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
-pub use faults::{FaultPlan, HardwareFault, NodeId, SoftwareFault};
+pub use faults::{FaultPlan, FaultPlanError, HardwareFault, NodeId, SoftwareFault};
 pub use metrics::RunMetrics;
 pub use payload::{CheckpointPayload, SentRecord};
+pub use regime::{
+    diff_device_streams, filter_injected_escapes, run_regime_mission, AtCoveragePlan,
+    BadMessagePlan, ByzantinePlan, EscapeRecord, RegimePlan, RegimeReport, RegimeVerdict,
+    ResyncViolationPlan,
+};
 pub use synergy_net::MissionId;
 pub use system::{Mission, MissionOutcome, System};

@@ -80,6 +80,9 @@ pub struct RunMetrics {
     pub rollbacks: Vec<RollbackRecord>,
     /// Messages held at engines during blocking periods and released later.
     pub dirty_fallbacks: u64,
+    /// True-time latency from unmasked-regime activation to the first
+    /// acceptance-test catch, when both happened.
+    pub regime_detection_secs: Option<f64>,
 }
 
 impl RunMetrics {

@@ -33,6 +33,11 @@ pub(super) enum Ev {
     },
     /// The design fault arms.
     SoftwareFaultActivate,
+    /// The unmasked-regime bad-message injector arms.
+    RegimeArm,
+    /// A Byzantine-lite node flips value bytes in its latest stable
+    /// checkpoint behind a valid CRC.
+    ByzantineCorrupt { node: usize },
     /// A node loses power.
     HardwareCrash { node: usize },
     /// The system-wide restart after a crash.
@@ -62,6 +67,18 @@ impl System {
                     self.hosts[i].app.set_faulty(true);
                 }
             }
+            Ev::RegimeArm => {
+                self.sim.record(
+                    self.system_actor,
+                    "regime.arm",
+                    "bad-message injector armed",
+                );
+                self.regime_armed_at = Some(now);
+                if let Some(i) = self.index_of_pid(self.topology.active) {
+                    self.hosts[i].arm_regime();
+                }
+            }
+            Ev::ByzantineCorrupt { node } => self.on_byzantine_corrupt(now, node),
             Ev::HardwareCrash { node } => self.on_hardware_crash(now, node),
             Ev::HardwareRecover => self.on_hardware_recover(now),
             Ev::Resync => self.on_resync(now),
@@ -239,6 +256,27 @@ impl System {
                             .schedule_in(self.cfg.tmax, self.system_actor, Ev::Resync);
                     }
                 }
+                HostAction::RegimeCorrupted { caught, offset } => {
+                    if caught {
+                        self.verdicts.at_catches += 1;
+                        if self.metrics.regime_detection_secs.is_none() {
+                            let armed = self.regime_armed_at.unwrap_or(now);
+                            self.metrics.regime_detection_secs =
+                                Some(now.saturating_duration_since(armed).as_secs_f64());
+                        }
+                        self.sim.record_with(self.host_actors[i], || {
+                            ("regime.at-catch", format!("corrupt byte at +{offset}"))
+                        });
+                    } else {
+                        self.verdicts.at_escapes += 1;
+                        self.sim.record_with(self.host_actors[i], || {
+                            (
+                                "regime.at-escape",
+                                format!("false negative, corrupt byte at +{offset}"),
+                            )
+                        });
+                    }
+                }
                 HostAction::Record { kind, detail } => {
                     self.sim.record(self.host_actors[i], kind, detail);
                 }
@@ -327,12 +365,60 @@ impl System {
         self.hosts[i].timer_event = Some(id);
     }
 
+    /// Marks `node` as Byzantine from this instant on. The node does not
+    /// corrupt its store at rest — it *serves* value-flipped checkpoints
+    /// (still behind valid CRCs) whenever a recovery reads from it, so the
+    /// lie survives however many clean commits land in between. The flip
+    /// itself happens in [`System::on_hardware_recover`]; this event only
+    /// stamps the arming instant into the trace.
+    fn on_byzantine_corrupt(&mut self, _now: SimTime, node: usize) {
+        self.sim.record_with(self.system_actor, || {
+            (
+                "regime.byzantine",
+                format!(
+                    "{} now serves value-flipped checkpoints behind valid CRCs",
+                    crate::faults::NodeId::from_index(node)
+                        .map_or("?".to_string(), |n| n.to_string()),
+                ),
+            )
+        });
+    }
+
     pub(super) fn on_resync(&mut self, now: SimTime) {
         self.resync_pending = false;
         self.metrics.resyncs += 1;
         self.clocks.resync_all(now);
         self.sim
             .record(self.system_actor, "clocks.resync", "fleet resynchronized");
+        // Regime axis 3: a failed resynchronization leaves one clock beyond
+        // the δ envelope. Inject, then *detect* — the deviation check is the
+        // flag the verdict classifier keys on.
+        if let Some(plan) = self.cfg.regime.resync_violation {
+            if now >= plan.after {
+                self.clocks.inject_skew(plan.node, plan.excess, now);
+            }
+        }
+        let deviation = self.clocks.max_pairwise_deviation(now);
+        if deviation > self.clocks.params().delta {
+            self.sync_violated = true;
+            self.verdicts.resync_violations += 1;
+            self.verdicts.violations.push(crate::checkers::Violation {
+                property: "clock-sync",
+                detail: format!(
+                    "post-resync deviation {:.1}us exceeds delta {:.1}us",
+                    deviation.as_secs_f64() * 1e6,
+                    self.clocks.params().delta.as_secs_f64() * 1e6
+                ),
+            });
+            self.sim.record_with(self.system_actor, || {
+                (
+                    "regime.resync-violation",
+                    format!("deviation {:.1}us > delta", deviation.as_secs_f64() * 1e6),
+                )
+            });
+        } else {
+            self.sync_violated = false;
+        }
         // Timer deadlines are local-clock values; after slewing, their true
         // fire times change — reschedule every pending timer.
         for i in 0..self.hosts.len() {

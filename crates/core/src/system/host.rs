@@ -140,6 +140,15 @@ pub enum HostAction {
     },
     /// The TB engine wants the clock fleet resynchronized.
     ResyncRequested,
+    /// The unmasked-regime injector corrupted an external payload before
+    /// the acceptance test ran.
+    RegimeCorrupted {
+        /// Whether the (coverage-limited) acceptance test caught it. A miss
+        /// is a false negative: the corrupt payload escapes to the device.
+        caught: bool,
+        /// Byte offset of the flipped byte within the payload.
+        offset: usize,
+    },
     /// A trace line, interleaved exactly where the protocol emitted it.
     Record {
         /// Trace kind (e.g. `"msg.recv"`).
@@ -215,6 +224,9 @@ pub struct ProcessHost {
     volatile_image: Option<CheckpointPayload>,
     /// Reusable serialization buffer for checkpoint encodes.
     scratch: Vec<u8>,
+    /// Unmasked-regime injector (bad external payloads + AT coverage),
+    /// present only on the original active host of a regime run.
+    regime: Option<crate::regime::RegimeInjector>,
 }
 
 impl ProcessHost {
@@ -265,6 +277,20 @@ impl ProcessHost {
             sent_snapshot: None,
             volatile_image: None,
             scratch: Vec::new(),
+            regime: None,
+        }
+    }
+
+    /// Installs the unmasked-regime injector (driver-side, at system build).
+    pub fn set_regime(&mut self, injector: crate::regime::RegimeInjector) {
+        self.regime = Some(injector);
+    }
+
+    /// Arms the installed regime injector (the plan's `after` instant
+    /// passed); no-op on hosts without one.
+    pub fn arm_regime(&mut self) {
+        if let Some(inj) = self.regime.as_mut() {
+            inj.arm();
         }
     }
 
@@ -421,7 +447,7 @@ impl ProcessHost {
     }
 
     fn on_produce(&mut self, external: bool, now: SimTime, out: &mut Vec<HostAction>) {
-        let (payload, to): (Vec<u8>, Endpoint) = if external {
+        let (mut payload, to): (Vec<u8>, Endpoint) = if external {
             (
                 self.app.produce_external(),
                 Endpoint::Device(self.topology.device),
@@ -434,7 +460,25 @@ impl ProcessHost {
             };
             (self.app.produce_internal(), dest)
         };
-        let at_pass = self.app.acceptance_test(&payload);
+        let mut at_pass = self.app.acceptance_test(&payload);
+        // Unmasked-regime injection: corrupt the external payload before
+        // the AT runs, then apply the seeded coverage knob. A catch flows
+        // through the ordinary `at_pass = false` path (detected takeover);
+        // a miss is a false negative and the corruption rides to the device.
+        if external && !payload.is_empty() {
+            if let Some(inj) = self.regime.as_mut() {
+                if inj.draw_corrupt() {
+                    let offset = payload.len() - 1;
+                    payload[offset] ^= crate::regime::CORRUPTION_MASK;
+                    // A miss is a false negative: the coverage knob
+                    // overrides the real AT's (correct) rejection and the
+                    // corrupt payload rides to the device.
+                    let caught = inj.draw_caught();
+                    at_pass = !caught;
+                    out.push(HostAction::RegimeCorrupted { caught, offset });
+                }
+            }
+        }
         let actions = self.engine.handle(MdcdEvent::AppSend(OutboundMessage {
             to,
             payload,

@@ -86,6 +86,12 @@ pub struct System {
     software_recovered: bool,
     crash_pending: Vec<usize>,
     finished: bool,
+    /// When the unmasked-regime bad-message axis armed (for detection
+    /// latency).
+    regime_armed_at: Option<SimTime>,
+    /// Whether the most recent resynchronization left the fleet outside the
+    /// δ bound — any epoch line computed while this holds is stale.
+    sync_violated: bool,
     /// Per-host incremental-checkpoint codecs, present when
     /// [`SystemConfig::checkpoint_delta_k`] is set. Accounting only: they
     /// measure what each stable commit would cost through the chain format,
@@ -96,7 +102,7 @@ pub struct System {
 impl System {
     /// Builds a system from `cfg` (faults validated, workload scheduled).
     pub fn new(cfg: SystemConfig) -> Self {
-        cfg.faults.validate();
+        cfg.validate().expect("invalid mission config");
         // Pending-event count is bounded by in-flight messages + per-host
         // timers + workload streams — tens, not thousands; 64 skips the
         // heap's early regrowth without committing real memory.
@@ -145,6 +151,17 @@ impl System {
             h.set_tracing(cfg.trace);
             h.set_mission(cfg.mission);
         }
+        // The bad-message/AT-coverage axes live on the *original* active
+        // host only: the upgraded low-confidence version is the one that can
+        // emit bad payloads; the shadow that may replace it is clean.
+        if let Some(bad) = cfg.regime.bad_messages {
+            let coverage = cfg.regime.at_coverage.map_or(1.0, |c| c.coverage);
+            hosts[0].set_regime(crate::regime::RegimeInjector::new(
+                bad.rate,
+                coverage,
+                root.stream("regime"),
+            ));
+        }
         let host_actors = vec![a_act, a_sdw, a_p2];
         let actor_index = host_actors
             .iter()
@@ -176,6 +193,8 @@ impl System {
             software_recovered: false,
             crash_pending: Vec::new(),
             finished: false,
+            regime_armed_at: None,
+            sync_violated: false,
             ckpt_codecs: cfg
                 .checkpoint_delta_k
                 .map(|k| vec![synergy_archive::CheckpointCodec::new(k); 3]),
@@ -242,6 +261,25 @@ impl System {
                 Ev::HardwareCrash { node: hw.node },
             );
         }
+        // Unmasked-regime injections.
+        if let Some(bad) = self.cfg.regime.bad_messages {
+            self.sim
+                .schedule_at(bad.after, self.system_actor, Ev::RegimeArm);
+        }
+        if let Some(byz) = self.cfg.regime.byzantine {
+            self.sim.schedule_at(
+                byz.at,
+                self.system_actor,
+                Ev::ByzantineCorrupt { node: byz.node },
+            );
+        }
+        if let Some(rv) = self.cfg.regime.resync_violation {
+            // Force a resynchronization attempt at the violation instant —
+            // the demand-driven TB resync may never fire in a short mission,
+            // and the regime models this *particular* resync going wrong.
+            self.sim
+                .schedule_at(rv.after, self.system_actor, Ev::Resync);
+        }
         let end = SimTime::ZERO + self.cfg.duration;
         self.sim.schedule_at(end, self.system_actor, Ev::End);
     }
@@ -294,6 +332,12 @@ impl System {
     /// External messages received by the device, in arrival order.
     pub fn device_log(&self) -> &[(SimTime, Envelope)] {
         &self.device_log
+    }
+
+    /// Payload bytes of every external message the device received, in
+    /// arrival order (the stream the oracle diff operates on).
+    pub fn device_stream(&self) -> Vec<Vec<u8>> {
+        device_stream_of(&self.device_log)
     }
 
     /// The ground-truth highest validated sequence number.
@@ -389,10 +433,23 @@ pub struct MissionOutcome {
     pub verdicts: Verdicts,
     /// External messages that reached the device.
     pub device_messages: usize,
+    /// Payload bytes of those messages, in arrival order — the stream the
+    /// unmasked-regime oracle diff counts and localizes escapes against.
+    pub device_stream: Vec<Vec<u8>>,
     /// Whether the shadow took over during the mission.
     pub shadow_promoted: bool,
     /// The recorded trace (empty if tracing was disabled).
     pub trace: Trace,
+}
+
+/// Extracts external payload bytes from a device log, in arrival order.
+fn device_stream_of(log: &[(SimTime, Envelope)]) -> Vec<Vec<u8>> {
+    log.iter()
+        .filter_map(|(_, env)| match &env.body {
+            synergy_net::MessageBody::External { payload } => Some(payload.clone()),
+            _ => None,
+        })
+        .collect()
 }
 
 impl Mission {
@@ -424,6 +481,7 @@ impl Mission {
             metrics,
             verdicts,
             device_messages: device_log.len(),
+            device_stream: device_stream_of(&device_log),
             shadow_promoted,
             trace: sim.into_trace(),
         }

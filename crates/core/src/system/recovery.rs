@@ -311,6 +311,28 @@ impl System {
             None
         };
 
+        // Regime axis 3: the epoch-line argument (paper §3.2) assumes every
+        // blocking period ran under the δ/ρ envelope. If the last
+        // resynchronization violated that bound, the line just computed is
+        // provably stale — flag it rather than silently trusting it.
+        if self.sync_violated {
+            self.verdicts.stale_epoch_lines += 1;
+            self.verdicts.violations.push(crate::checkers::Violation {
+                property: "epoch-line-stale",
+                detail: format!(
+                    "epoch line {:?} computed under violated clock bound \
+                     (post-resync deviation exceeded delta)",
+                    recovery_epoch
+                ),
+            });
+            self.sim.record_with(self.system_actor, || {
+                (
+                    "regime.stale-epoch",
+                    format!("epoch line {recovery_epoch:?} is stale"),
+                )
+            });
+        }
+
         // Restore every live process from stable storage and gather the
         // restored cut for checking.
         let mut restored_payloads: Vec<(usize, CheckpointPayload)> = Vec::new();
@@ -325,10 +347,36 @@ impl System {
             // A live host may have been mid-blocking with a stable write in
             // flight; the global rollback supersedes that establishment.
             self.hosts[i].stable.abort_write();
-            let chosen = match recovery_epoch {
+            let mut chosen = match recovery_epoch {
                 Some(epoch) => self.hosts[i].stable.latest_at_or_before(epoch).cloned(),
                 None => self.hosts[i].stable.latest_shared(),
             };
+            // Regime axis 4: a Byzantine-lite node serves value-flipped
+            // checkpoints behind valid CRCs — the lie is applied at read
+            // time, so it survives any number of clean commits since the
+            // arming instant. Nothing between here and the device can see
+            // it; only the oracle device-stream diff does.
+            if let Some(byz) = self.cfg.regime.byzantine {
+                if byz.node == self.hosts[i].node && now >= byz.at {
+                    if let Some(corrupt) = chosen
+                        .as_ref()
+                        .and_then(crate::regime::corrupt_checkpoint_value)
+                    {
+                        self.verdicts.byz_corruptions += 1;
+                        self.sim.record_with(self.system_actor, || {
+                            (
+                                "regime.byzantine",
+                                format!(
+                                    "{} served value-flipped checkpoint {} to recovery",
+                                    self.hosts[i].pid,
+                                    corrupt.seq()
+                                ),
+                            )
+                        });
+                        chosen = Some(corrupt);
+                    }
+                }
+            }
             let restored_seq = chosen.as_ref().map_or(0, |c| c.seq());
             let payload = match chosen {
                 Some(ckpt) => CheckpointPayload::from_checkpoint(&ckpt).expect("stable decodes"),

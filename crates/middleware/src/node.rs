@@ -76,6 +76,11 @@ pub enum NodeCmd {
     /// channel, a `Status` round-trip doubles as a barrier: everything sent
     /// to the node before it has been processed once the reply arrives.
     Status(Sender<NodeStatus>),
+    /// Unmasked-regime hook (Byzantine-lite): flip value bytes inside the
+    /// latest committed stable checkpoint, re-encoding it behind a valid
+    /// CRC. Replies with the corrupted epoch, or `None` when the store is
+    /// empty or the backend cannot rewrite committed history.
+    Corrupt(Sender<Option<u64>>),
     /// Stop the thread.
     Shutdown,
 }
@@ -480,6 +485,13 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
                 let outcome = self.rollback_to_line(epoch);
                 let _ = reply.send(outcome);
             }
+            NodeCmd::Corrupt(tx) => {
+                let epoch = self
+                    .tb
+                    .as_mut()
+                    .and_then(TbRuntime::corrupt_latest_checkpoint);
+                let _ = tx.send(epoch);
+            }
             NodeCmd::Status(tx) => {
                 let snap = self.host.engine.snapshot();
                 let _ = tx.send(NodeStatus {
@@ -519,6 +531,7 @@ impl<T: Transport, S: Stable> NodeRunner<T, S> {
                 // runs without an embedded TB engine here).
                 HostAction::Delivered
                 | HostAction::AtPerformed { .. }
+                | HostAction::RegimeCorrupted { .. }
                 | HostAction::VolatileSaved { .. }
                 | HostAction::WriteThroughCommitted
                 | HostAction::StableWriteBegun { .. }

@@ -402,6 +402,18 @@ impl<S: Stable> TbRuntime<S> {
             .latest_shared()
             .and_then(|c| CheckpointPayload::from_checkpoint(&c).ok())
     }
+
+    /// Byzantine-lite injection (unmasked-regime axis 4): flips value bytes
+    /// inside the latest *committed* checkpoint and re-encodes the record in
+    /// place, so its CRC — and every integrity check between here and the
+    /// next recovery — remains valid. Returns the corrupted epoch, or `None`
+    /// when nothing is committed, the payload does not decode, or the
+    /// backend cannot rewrite committed history (delta chains).
+    pub fn corrupt_latest_checkpoint(&mut self) -> Option<u64> {
+        let ckpt = self.stable.latest_shared()?;
+        let corrupted = synergy::regime::corrupt_checkpoint_value(&ckpt)?;
+        self.stable.replace_latest(corrupted).then(|| ckpt.seq())
+    }
 }
 
 #[cfg(test)]

@@ -352,6 +352,24 @@ impl Stable for DiskStableStore {
             .map(|(_, c)| c.clone())
     }
 
+    fn replace_latest(&mut self, checkpoint: Checkpoint) -> bool {
+        // Byzantine-lite injection: rewrite the newest committed record
+        // both on disk and in the cache. Best-effort — a failed rewrite
+        // reports "unsupported" rather than corrupting bookkeeping.
+        let Some((index, slot)) = self.committed.last_mut().map(|(i, c)| (*i, c)) else {
+            return false;
+        };
+        let path = self.dir.join(file_name(index));
+        let Ok(bytes) = frame(&checkpoint) else {
+            return false;
+        };
+        if fs::write(&path, bytes).is_err() {
+            return false;
+        }
+        *slot = checkpoint;
+        true
+    }
+
     fn stats(&self) -> StableStats {
         self.stats
     }

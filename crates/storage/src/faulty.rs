@@ -196,6 +196,11 @@ impl<S: Stable> Stable for FaultyStable<S> {
         self.inner.latest_at_or_before_shared(seq)
     }
 
+    fn replace_latest(&mut self, checkpoint: Checkpoint) -> bool {
+        // Not in the DiskOp fault vocabulary: injection passes through.
+        self.inner.replace_latest(checkpoint)
+    }
+
     fn stats(&self) -> StableStats {
         self.inner.stats()
     }

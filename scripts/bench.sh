@@ -54,6 +54,15 @@ BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
     BENCH_CHECKPOINT_STATE_KIB="${BENCH_CHECKPOINT_STATE_KIB:-}" \
     cargo bench -q --bench checkpoint
 
+# Unmasked regimes: AT detection latency and escape rate across a fixed
+# acceptance-test coverage ladder (100% → 0%) at constant bad-message
+# pressure. Appends to the same record's "regimes" section.
+# BENCH_REGIME_SEEDS (missions per coverage level, default 32) shrinks
+# it — check.sh smokes it small.
+BENCH_LABEL="$LABEL" BENCH_JSON="$JSON" BENCH_GIT_REV="$GIT_REV" \
+    BENCH_REGIME_SEEDS="${BENCH_REGIME_SEEDS:-}" \
+    cargo bench -q --bench regimes
+
 # Optional: wall-clock a small deterministic chaos sweep against the live
 # three-process cluster. Machines without the cluster binaries (a
 # bench-only checkout, or a target dir built before the chaos crate

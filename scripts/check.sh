@@ -27,6 +27,13 @@ echo "==> archive smoke: delta-chain, wipe-rehydration and archive-fault campaig
 # against the simulator reference like every other campaign.
 ./target/release/synergy-chaos --seeds 8 --base-seed 1 --jobs 4
 
+echo "==> unmasked-regime smoke: 4 seeds per regime + live Byzantine campaigns"
+# Sweeps the four unmasked regimes (caught / escape / resync / byzantine)
+# in the simulator and runs the live-cluster Byzantine campaigns, each
+# classified into exactly one RegimeVerdict; fails on any silent escape,
+# any worse-than-expected verdict, or a non-reproducible row.
+./target/release/synergy-chaos --regime --seeds 4 --base-seed 5 --jobs 2
+
 echo "==> chaos smoke: legacy thread-per-route transport"
 # The reactor is the default; keep the legacy path honest too while it
 # remains the migration fallback.
@@ -45,10 +52,12 @@ smoke_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$smoke_json"' EXIT
 BENCH_WIRE_FRAMES=2000 BENCH_FLEET_TENANTS=100 \
     BENCH_CHECKPOINT_ROUNDS=8 BENCH_CHECKPOINT_STATE_KIB=64 \
+    BENCH_REGIME_SEEDS=2 \
     scripts/bench.sh smoke 1 "$smoke_json" > /dev/null
 grep -q '"ms_per_mission"' "$smoke_json"
 grep -q '"wire"' "$smoke_json"
 grep -q '"fleet"' "$smoke_json"
 grep -q '"checkpoint"' "$smoke_json"
+grep -q '"regimes"' "$smoke_json"
 
 echo "OK: fmt, clippy, tier-1 and bench smoke all passed"
